@@ -1,0 +1,137 @@
+// Engine micro-benchmarks (google-benchmark): wall-clock costs of the
+// simulator primitives.  Not a paper figure — these bound how large a
+// simulated experiment the harness can run per second of host time.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "adcl/functionsets.hpp"
+#include "adcl/selection.hpp"
+#include "coll/ialltoall.hpp"
+#include "mpi/world.hpp"
+#include "nbc/handle.hpp"
+#include "net/machine.hpp"
+#include "net/platform.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+
+using namespace nbctune;
+
+static void BM_EventScheduleAndRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < n; ++i) {
+      eng.schedule_at(static_cast<double>(i), [] {});
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.now());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventScheduleAndRun)->Arg(1024)->Arg(65536);
+
+static void BM_FiberSwitch(benchmark::State& state) {
+  bool stop = false;
+  sim::Fiber f([&] {
+    while (!stop) sim::Fiber::current()->yield();
+  });
+  for (auto _ : state) {
+    f.resume();  // one switch in, one out
+  }
+  stop = true;
+  f.resume();
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FiberSwitch);
+
+static void BM_ProcessSleepWake(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.add_process("p", [&](sim::Process& p) {
+      for (int i = 0; i < n; ++i) p.sleep(1e-6);
+    });
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ProcessSleepWake)->Arg(10000);
+
+static void BM_PingPong(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::Machine machine(net::whale());
+    mpi::WorldOptions o;
+    o.nprocs = 9;
+    o.noise_scale = 0;
+    mpi::World world(eng, machine, o);
+    world.launch([&](mpi::Ctx& ctx) {
+      auto comm = ctx.world().comm_world();
+      std::vector<std::byte> buf(64);
+      if (ctx.world_rank() == 0) {
+        for (int i = 0; i < rounds; ++i) {
+          ctx.send(comm, buf.data(), 64, 8, 0);
+          ctx.recv(comm, buf.data(), 64, 8, 0);
+        }
+      } else if (ctx.world_rank() == 8) {
+        for (int i = 0; i < rounds; ++i) {
+          ctx.recv(comm, buf.data(), 64, 0, 0);
+          ctx.send(comm, buf.data(), 64, 0, 0);
+        }
+      }
+    });
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+  state.SetLabel("messages/s");
+}
+BENCHMARK(BM_PingPong)->Arg(1000);
+
+static void BM_AlltoallSchedule(benchmark::State& state) {
+  const int np = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::Machine machine(net::crill());
+    mpi::WorldOptions o;
+    o.nprocs = np;
+    o.noise_scale = 0;
+    mpi::World world(eng, machine, o);
+    world.launch([&](mpi::Ctx& ctx) {
+      const int me = ctx.world_rank();
+      nbc::Schedule s = coll::build_ialltoall_linear(me, np, nullptr, nullptr,
+                                                     1024);
+      nbc::Handle h(ctx, ctx.world().comm_world(), &s, 1 << 20);
+      h.start();
+      h.wait();
+    });
+    eng.run();
+    benchmark::DoNotOptimize(world.total_data_msgs());
+  }
+  state.SetItemsProcessed(state.iterations() * np * (np - 1));
+  state.SetLabel("messages simulated/s");
+}
+BENCHMARK(BM_AlltoallSchedule)->Arg(32)->Arg(128);
+
+static void BM_SelectionPolicy(benchmark::State& state) {
+  const auto kind = static_cast<adcl::PolicyKind>(state.range(0));
+  auto fset = adcl::make_ibcast_functionset();  // 21 functions
+  for (auto _ : state) {
+    auto policy = adcl::make_policy(kind, *fset);
+    int f = policy->first();
+    double score = 1.0;
+    while (f >= 0) {
+      score = 1.0 + 0.01 * f;
+      f = policy->next(f, score);
+    }
+    benchmark::DoNotOptimize(policy->winner());
+  }
+}
+BENCHMARK(BM_SelectionPolicy)
+    ->Arg(static_cast<int>(adcl::PolicyKind::BruteForce))
+    ->Arg(static_cast<int>(adcl::PolicyKind::AttributeHeuristic))
+    ->Arg(static_cast<int>(adcl::PolicyKind::TwoKFactorial));
+
+BENCHMARK_MAIN();

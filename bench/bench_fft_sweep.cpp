@@ -1,0 +1,92 @@
+// §IV-B summary statistic: across the FFT test sweep, in what fraction of
+// the cases does ADCL beat (or match) the LibNBC version?
+//
+// Paper: ADCL reduced execution time vs LibNBC in 74% of 393 tests, with
+// most of the rest on par (the few LibNBC wins happen where its fixed
+// linear algorithm is already optimal and ADCL pays only learning costs).
+
+#include "fft_util.hpp"
+#include "net/platform.hpp"
+
+using namespace nbctune;
+using namespace nbctune::bench;
+
+int main(int argc, char** argv) {
+  const auto scale = Scale::from_args(argc, argv);
+  harness::banner("3-D FFT sweep: ADCL vs LibNBC across scenarios");
+  adcl::TuningOptions tuning;
+  tuning.tests_per_function = 2;
+  const int iters = scale.full ? 25 : 15;
+
+  struct Case {
+    net::Platform platform;
+    int nprocs;
+    int grid_n;
+  };
+  // Scales chosen inside the paper's evaluation range (160..1024 procs,
+  // scaled to the simulator): at toy scales the linear algorithm LibNBC
+  // is pinned to is often already optimal and there is nothing to win.
+  std::vector<Case> cases = {
+      {net::whale(), 128, 1024},
+      {net::whale(), 160, 1280},
+      {net::crill(), 96, 768},
+      {net::bluegene_p(), 128, 1024},
+  };
+  if (scale.full) {
+    cases.push_back({net::crill(), 160, 1280});
+    cases.push_back({net::crill(), 256, 2048});
+    cases.push_back({net::bluegene_p(), 256, 2048});
+  }
+
+  // The paper ran 350 iterations per test, which amortizes the learning
+  // phase; simulating 350 iterations per configuration is unnecessary in
+  // a noise-free simulator: the post-decision rate is steady, so the
+  // 350-iteration total is learning_total + rate * (350 - learning_iters),
+  // computed exactly from the measured run.
+  constexpr int kPaperIters = 350;
+  harness::Table t({"platform", "np", "N", "pattern", "LibNBC[s]", "ADCL[s]",
+                    "ratio", "ratio@350it", "result"});
+  int total = 0, wins = 0, par = 0;
+  for (const Case& c : cases) {
+    for (fft::Pattern p : kAllPatterns) {
+      const FftRun nbc = run_fft(c.platform, c.nprocs, c.grid_n, p,
+                                 fft::Backend::LibNBC, iters);
+      const FftRun ad = run_fft(c.platform, c.nprocs, c.grid_n, p,
+                                fft::Backend::Adcl, iters, tuning);
+      const double ratio = ad.total_time / nbc.total_time;
+      const double nbc_rate = nbc.total_time / iters;
+      const double ad_learning = ad.total_time - ad.post_learning_time;
+      const int ad_learn_iters = iters - ad.post_learning_iters;
+      const double ad_rate =
+          ad.post_learning_time / std::max(1, ad.post_learning_iters);
+      const double nbc350 = nbc_rate * kPaperIters;
+      const double ad350 =
+          ad_learning + ad_rate * (kPaperIters - ad_learn_iters);
+      const double ratio350 = ad350 / nbc350;
+      ++total;
+      std::string result;
+      if (ratio350 < 0.995) {
+        ++wins;
+        result = "ADCL faster";
+      } else if (ratio350 <= 1.02) {
+        ++par;
+        result = "on par";
+      } else {
+        result = "LibNBC faster";
+      }
+      t.add_row({c.platform.name, std::to_string(c.nprocs),
+                 std::to_string(c.grid_n), fft::pattern_name(p),
+                 harness::Table::num(nbc.total_time),
+                 harness::Table::num(ad.total_time),
+                 harness::Table::num(ratio, 3),
+                 harness::Table::num(ratio350, 3), result});
+    }
+  }
+  t.print();
+  std::cout << "\nAt the paper's 350-iteration amortization: ADCL faster in "
+            << wins << "/" << total << " = "
+            << harness::Table::num(100.0 * wins / total, 1)
+            << "% of cases; on par in " << par << "/" << total
+            << " (paper: faster in 74% of 393 tests, most others on par)\n";
+  return 0;
+}

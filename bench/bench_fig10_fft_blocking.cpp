@@ -1,0 +1,51 @@
+// Figure 10: 3-D FFT with LibNBC, ADCL and the blocking MPI_Alltoall
+// version, on whale with 160 and 358 processes.
+//
+// Expected shape (paper §IV-B-f): ADCL beats LibNBC in most cases; in
+// some scenarios the blocking version beats all non-blocking ones (the
+// observation that motivates the extended function-set of Fig. 11).
+
+#include "fft_util.hpp"
+#include "net/platform.hpp"
+
+using namespace nbctune;
+using namespace nbctune::bench;
+
+int main(int argc, char** argv) {
+  const auto scale = Scale::from_args(argc, argv);
+  adcl::TuningOptions tuning;
+  tuning.tests_per_function = scale.full ? 3 : 2;
+  const int iters = 3 * tuning.tests_per_function + (scale.full ? 16 : 9);
+
+  struct Case {
+    int nprocs;
+    int grid_n;  // N = 8P (eight planes per rank)
+  };
+  std::vector<Case> cases = {{160, 1280}};
+  if (scale.full) cases.push_back({358, 2864});  // paper scale
+  for (const Case& c : cases) {
+    harness::banner("Fig 10: 3-D FFT, LibNBC vs ADCL vs blocking MPI — "
+                    "whale, " +
+                    std::to_string(c.nprocs) + " procs, N=" +
+                    std::to_string(c.grid_n));
+    harness::Table t({"pattern", "MPI(blocking)[s]", "LibNBC[s]", "ADCL[s]",
+                      "best", "ADCL winner"});
+    for (fft::Pattern p : kAllPatterns) {
+      const FftRun mpi = run_fft(net::whale(), c.nprocs, c.grid_n, p,
+                                 fft::Backend::Blocking, iters);
+      const FftRun nbc = run_fft(net::whale(), c.nprocs, c.grid_n, p,
+                                 fft::Backend::LibNBC, iters);
+      const FftRun ad = run_fft(net::whale(), c.nprocs, c.grid_n, p,
+                                fft::Backend::Adcl, iters, tuning);
+      std::string best = "MPI";
+      double bt = mpi.total_time;
+      if (nbc.total_time < bt) { best = "LibNBC"; bt = nbc.total_time; }
+      if (ad.total_time < bt) { best = "ADCL"; bt = ad.total_time; }
+      t.add_row({fft::pattern_name(p), harness::Table::num(mpi.total_time),
+                 harness::Table::num(nbc.total_time),
+                 harness::Table::num(ad.total_time), best, ad.winner});
+    }
+    t.print();
+  }
+  return 0;
+}

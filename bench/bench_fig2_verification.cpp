@@ -1,0 +1,43 @@
+// Figure 2: Ialltoall verification runs — execution time of each fixed
+// implementation, and of ADCL with the brute-force search and the
+// attribute-based heuristic, for 128 KB messages: whale x {32, 128}
+// processes and crill x {32, 128, 256} processes.
+//
+// Expected shape (paper §IV-A): ADCL lands on (or within 5% of) the best
+// fixed implementation; its total time sits slightly above the best fixed
+// run because the learning phase also measures the bad candidates.
+
+#include "bench_util.hpp"
+#include "net/platform.hpp"
+
+using namespace nbctune;
+using namespace nbctune::harness;
+
+int main(int argc, char** argv) {
+  const auto scale = bench::Scale::from_args(argc, argv);
+  struct Case {
+    net::Platform platform;
+    int nprocs;
+  };
+  const Case cases[] = {
+      {net::whale(), 32},  {net::whale(), 128},  {net::crill(), 32},
+      {net::crill(), 128}, {net::crill(), 256},
+  };
+  for (const Case& c : cases) {
+    MicroScenario s;
+    s.platform = c.platform;
+    s.nprocs = c.nprocs;
+    s.op = OpKind::Ialltoall;
+    s.bytes = 128 * 1024;
+    // Paper: 50 s compute over 1000 iterations = 50 ms per iteration.
+    s.compute_per_iter = 50e-3;
+    s.progress_calls = 5;
+    const int tests = scale.full ? 8 : 4;
+    s.iterations = 3 * tests + (scale.full ? 20 : 8);
+    bench::print_verification(
+        "Fig 2: Ialltoall verification run (" + c.platform.name + ", " +
+            std::to_string(c.nprocs) + " procs, 128 KB)",
+        s, run_verification(s, tests));
+  }
+  return 0;
+}

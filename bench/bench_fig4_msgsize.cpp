@@ -1,0 +1,34 @@
+// Figure 4: influence of the communication volume — Ialltoall on crill
+// with 256 processes, 10 ms compute/iteration, 5 progress calls, for 1 KB
+// and 128 KB messages per process pair.
+//
+// Expected shape (paper §IV-A-b): the dissemination algorithm is the best
+// choice at 1 KB (few messages win when per-message costs dominate) and
+// the worst at 128 KB (its log2(P)/2-fold data volume loses when bytes
+// dominate); linear and pairwise behave the other way around.
+
+#include "bench_util.hpp"
+#include "net/platform.hpp"
+
+using namespace nbctune;
+using namespace nbctune::harness;
+
+int main(int argc, char** argv) {
+  const auto scale = bench::Scale::from_args(argc, argv);
+  for (std::size_t bytes : {std::size_t{1024}, std::size_t{128 * 1024}}) {
+    MicroScenario s;
+    s.platform = net::crill();
+    s.nprocs = 256;
+    s.op = OpKind::Ialltoall;
+    s.bytes = bytes;
+    s.compute_per_iter = 10e-3;  // 10 s over 1000 iterations
+    s.progress_calls = 5;
+    s.iterations = scale.full ? 16 : 6;
+    s.noise_scale = 0.0;  // systematic comparison: noise off
+    bench::print_fixed_comparison(
+        "Fig 4: message-size influence — crill, 256 procs, " +
+            std::to_string(bytes / 1024) + " KB per pair",
+        s);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 5: influence of the process count — Ialltoall on whale with 1 KB
+// messages, 1 ms compute/iteration (10 s over 10000 iterations) and 100
+// progress calls, for 32 vs 128 processes.
+//
+// Expected shape (paper §IV-A-c): the flood algorithms (linear, pairwise)
+// and the dissemination algorithm trade places as the process count
+// changes; at 128 processes dissemination's aggregated (now rendezvous-
+// sized) messages lose to the flood algorithms.  NOTE (EXPERIMENTS.md):
+// at 32 processes all three implementations land within a few percent in
+// our model; the paper's clearer margin at 32 does not fully reproduce.
+
+#include "bench_util.hpp"
+#include "net/platform.hpp"
+
+using namespace nbctune;
+using namespace nbctune::harness;
+
+int main(int argc, char** argv) {
+  const auto scale = bench::Scale::from_args(argc, argv);
+  for (int nprocs : {32, 128}) {
+    MicroScenario s;
+    s.platform = net::whale();
+    s.nprocs = nprocs;
+    s.op = OpKind::Ialltoall;
+    s.bytes = 1024;
+    s.compute_per_iter = 1e-3;
+    s.progress_calls = 100;
+    s.iterations = scale.full ? 40 : 12;
+    s.noise_scale = 0.0;  // systematic comparison: noise off
+    bench::print_fixed_comparison(
+        "Fig 5: process-count influence — whale, 1 KB, " +
+            std::to_string(nprocs) + " procs",
+        s);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 7: the number of progress calls changes the optimal algorithm —
+// Ialltoall on crill, 32 processes (a single fat node: pure shared
+// memory), 128 KB per pair, 100 ms compute/iteration.
+//
+// Expected shape (paper §IV-A-d): with a single progress call the
+// pairwise algorithm wins (its ordered exchanges are cheapest to finish
+// inside the blocking wait), while with more progress calls the linear
+// algorithm wins (one round, overlappable as soon as the CPU pushes its
+// copies from the progress calls).
+
+#include "bench_util.hpp"
+#include "net/platform.hpp"
+
+using namespace nbctune;
+using namespace nbctune::harness;
+
+int main(int argc, char** argv) {
+  const auto scale = bench::Scale::from_args(argc, argv);
+  harness::banner(
+      "Fig 7: progress-call count changes the optimal Ialltoall algorithm "
+      "— crill, 32 procs (one node), 128 KB, 100 ms compute/iter");
+  MicroScenario s;
+  s.platform = net::crill();
+  s.nprocs = 32;
+  s.op = OpKind::Ialltoall;
+  s.bytes = 128 * 1024;
+  s.compute_per_iter = 100e-3;
+  s.iterations = scale.full ? 20 : 8;
+  s.noise_scale = 0.0;  // systematic comparison: noise off
+  auto fset = scenario_functionset(s);
+
+  harness::Table t(
+      {"progress_calls", "linear[s]", "dissemination[s]", "pairwise[s]",
+       "winner"});
+  for (int pc : {1, 2, 5, 10, 100}) {
+    s.progress_calls = pc;
+    double best = 1e300;
+    std::string winner;
+    std::vector<std::string> row{std::to_string(pc)};
+    for (std::size_t f = 0; f < fset->size(); ++f) {
+      const auto out = run_fixed(s, static_cast<int>(f));
+      row.push_back(harness::Table::num(out.loop_time));
+      if (out.loop_time < best) {
+        best = out.loop_time;
+        winner = out.impl;
+      }
+    }
+    row.push_back(winner);
+    t.add_row(std::move(row));
+  }
+  t.print();
+  std::cout << "\nExpected: pairwise wins at 1 progress call, linear at "
+               ">= 5 calls.\n";
+  return 0;
+}

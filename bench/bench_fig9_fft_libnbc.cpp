@@ -1,0 +1,49 @@
+// Figure 9: 3-D FFT application kernel, LibNBC vs ADCL, on crill with
+// 160 and 500 processes, for the four overlap patterns.
+//
+// Expected shape (paper §IV-B-e): ADCL at or below LibNBC in the large
+// majority of cases — LibNBC is pinned to its default linear algorithm,
+// ADCL picks per scenario.  Where linear happens to be optimal, ADCL pays
+// only its learning-phase overhead.
+
+#include "fft_util.hpp"
+#include "net/platform.hpp"
+
+using namespace nbctune;
+using namespace nbctune::bench;
+
+int main(int argc, char** argv) {
+  const auto scale = Scale::from_args(argc, argv);
+  adcl::TuningOptions tuning;
+  tuning.tests_per_function = scale.full ? 3 : 2;
+  const int iters = 3 * tuning.tests_per_function + (scale.full ? 16 : 9);
+
+  struct Case {
+    int nprocs;
+    int grid_n;  // N = 8P: eight planes per rank, so the four overlap
+                 // patterns genuinely differ (see fft3d.hpp)
+  };
+  std::vector<Case> cases = {{96, 768}, {160, 1280}};
+  if (scale.full) cases.push_back({500, 4000});  // paper scale
+  for (const Case& c : cases) {
+    harness::banner("Fig 9: 3-D FFT, LibNBC vs ADCL — crill, " +
+                    std::to_string(c.nprocs) + " procs, N=" +
+                    std::to_string(c.grid_n));
+    harness::Table t({"pattern", "LibNBC[s]", "ADCL[s]", "ADCL/LibNBC",
+                      "ADCL winner"});
+    for (fft::Pattern p : kAllPatterns) {
+      const FftRun nbc = run_fft(net::crill(), c.nprocs, c.grid_n, p,
+                                 fft::Backend::LibNBC, iters);
+      const FftRun ad = run_fft(net::crill(), c.nprocs, c.grid_n, p,
+                                fft::Backend::Adcl, iters, tuning);
+      t.add_row({fft::pattern_name(p), harness::Table::num(nbc.total_time),
+                 harness::Table::num(ad.total_time),
+                 harness::Table::num(ad.total_time / nbc.total_time, 3),
+                 ad.winner});
+    }
+    t.print();
+  }
+  std::cout << "\nExpected: ADCL/LibNBC <= ~1.0 in most rows (paper: ADCL "
+               "faster in 74% of all FFT tests).\n";
+  return 0;
+}

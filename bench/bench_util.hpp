@@ -1,0 +1,88 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benchmark binaries.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/microbench.hpp"
+#include "harness/table.hpp"
+
+namespace nbctune::bench {
+
+/// Scale knob: benches default to a reduced iteration/test budget that
+/// preserves the paper's shapes; `--full` runs closer to paper scale.
+struct Scale {
+  bool full = false;
+  static Scale from_args(int argc, char** argv) {
+    Scale s;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) s.full = true;
+    }
+    return s;
+  }
+};
+
+/// Print one verification run as a figure-style table: every fixed
+/// implementation plus the two ADCL policies, flagged with the winner.
+inline void print_verification(const std::string& title,
+                               const harness::MicroScenario& s,
+                               const harness::VerificationRun& v) {
+  harness::banner(title);
+  std::cout << "platform=" << s.platform.name << " nprocs=" << s.nprocs
+            << " bytes=" << s.bytes << " compute/iter=" << s.compute_per_iter
+            << "s progress_calls=" << s.progress_calls
+            << " iterations=" << s.iterations << "\n\n";
+  harness::Table t({"implementation", "loop_time[s]", "vs_best", "note"});
+  const double best = v.fixed[v.best_fixed].loop_time;
+  for (std::size_t f = 0; f < v.fixed.size(); ++f) {
+    t.add_row({v.fixed[f].impl, harness::Table::num(v.fixed[f].loop_time),
+               harness::Table::num(v.fixed[f].loop_time / best, 2),
+               static_cast<int>(f) == v.best_fixed ? "<- best fixed" : ""});
+  }
+  t.add_row({"ADCL(brute-force)",
+             harness::Table::num(v.adcl_bruteforce.loop_time),
+             harness::Table::num(v.adcl_bruteforce.loop_time / best, 2),
+             "winner=" + v.adcl_bruteforce.impl +
+                 (v.bruteforce_correct ? " [correct]" : " [SUBOPTIMAL]")});
+  t.add_row({"ADCL(heuristic)",
+             harness::Table::num(v.adcl_heuristic.loop_time),
+             harness::Table::num(v.adcl_heuristic.loop_time / best, 2),
+             "winner=" + v.adcl_heuristic.impl +
+                 (v.heuristic_correct ? " [correct]" : " [SUBOPTIMAL]")});
+  t.print();
+}
+
+/// Compare fixed implementations only (the per-algorithm bars of the
+/// influence figures); returns the winner's name.
+inline std::string print_fixed_comparison(const std::string& title,
+                                          const harness::MicroScenario& s) {
+  harness::banner(title);
+  std::cout << "platform=" << s.platform.name << " nprocs=" << s.nprocs
+            << " bytes=" << s.bytes << " compute/iter=" << s.compute_per_iter
+            << "s progress_calls=" << s.progress_calls
+            << " iterations=" << s.iterations << "\n\n";
+  auto fset = harness::scenario_functionset(s);
+  harness::Table t({"implementation", "loop_time[s]", "vs_best"});
+  std::vector<harness::RunOutcome> runs;
+  double best = 1e300;
+  std::string best_name;
+  for (std::size_t f = 0; f < fset->size(); ++f) {
+    runs.push_back(harness::run_fixed(s, static_cast<int>(f)));
+    if (runs.back().loop_time < best) {
+      best = runs.back().loop_time;
+      best_name = runs.back().impl;
+    }
+  }
+  for (const auto& r : runs) {
+    t.add_row({r.impl, harness::Table::num(r.loop_time),
+               harness::Table::num(r.loop_time / best, 2)});
+  }
+  t.print();
+  std::cout << "winner: " << best_name << "\n";
+  return best_name;
+}
+
+}  // namespace nbctune::bench

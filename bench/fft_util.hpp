@@ -1,0 +1,85 @@
+#pragma once
+
+// Shared driver for the 3-D FFT application-kernel benches (Figs 9-12).
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fft/fft3d.hpp"
+#include "mpi/world.hpp"
+#include "net/machine.hpp"
+#include "sim/engine.hpp"
+
+namespace nbctune::bench {
+
+struct FftRun {
+  double total_time = 0.0;          ///< all iterations
+  double post_learning_time = 0.0;  ///< iterations after the decision
+  int post_learning_iters = 0;
+  std::string winner;               ///< tuned winner (Adcl back-end)
+  int decision_iteration = -1;
+};
+
+/// Run `iters` iterations of the kernel; per-iteration times recorded on
+/// rank 0 (all ranks synchronize through the transpose anyway).
+inline FftRun run_fft(const net::Platform& platform, int nprocs, int grid_n,
+                      fft::Pattern pattern, fft::Backend backend, int iters,
+                      const adcl::TuningOptions& tuning = {},
+                      bool extended_set = false, int progress_calls = 4,
+                      std::uint64_t seed = 1) {
+  FftRun out;
+  sim::Engine engine(seed);
+  net::Machine machine(platform);
+  mpi::WorldOptions wopts;
+  wopts.nprocs = nprocs;
+  wopts.seed = seed;
+  wopts.noise_scale = 0.0;   // systematic backend comparison
+  mpi::World world(engine, machine, wopts);
+  world.launch([&](mpi::Ctx& ctx) {
+    fft::Fft3dOptions opt;
+    opt.n = grid_n;
+    opt.pattern = pattern;
+    opt.backend = backend;
+    opt.real_math = false;
+    opt.progress_calls = progress_calls;
+    opt.tuning = tuning;
+    opt.extended_set = extended_set;
+    fft::Fft3d kernel(ctx, ctx.world().comm_world(), opt);
+    std::vector<double> iter_times;
+    const double t0 = ctx.now();
+    int decision_iter = -1;
+    for (int it = 0; it < iters; ++it) {
+      const double s = ctx.now();
+      kernel.run_iteration();
+      iter_times.push_back(ctx.now() - s);
+      if (decision_iter < 0 && kernel.selection() != nullptr &&
+          kernel.selection()->decided()) {
+        decision_iter = it + 1;
+      }
+    }
+    if (ctx.world_rank() == 0) {
+      out.total_time = ctx.now() - t0;
+      const int cut = decision_iter < 0 ? 0 : decision_iter;
+      for (int it = cut; it < iters; ++it) {
+        out.post_learning_time += iter_times[it];
+      }
+      out.post_learning_iters = iters - cut;
+      out.decision_iteration = decision_iter;
+      if (kernel.selection() != nullptr && kernel.selection()->decided()) {
+        out.winner = kernel.selection()
+                         ->function_set()
+                         .function(kernel.selection()->winner())
+                         .name;
+      }
+    }
+  });
+  engine.run();
+  return out;
+}
+
+inline const fft::Pattern kAllPatterns[] = {
+    fft::Pattern::Pipelined, fft::Pattern::Tiled, fft::Pattern::Windowed,
+    fft::Pattern::WindowTiled};
+
+}  // namespace nbctune::bench

@@ -1,0 +1,84 @@
+// Historic learning example (paper §IV-B / §V): the winner of a tuning
+// run is recorded under a platform/operation/size key; a later execution
+// with the same key skips the learning phase entirely.  The store also
+// round-trips through a file, carrying decisions across program runs.
+
+#include <cstdio>
+#include <vector>
+
+#include "adcl/adcl.hpp"
+#include "mpi/world.hpp"
+#include "net/machine.hpp"
+#include "net/platform.hpp"
+#include "sim/engine.hpp"
+
+using namespace nbctune;
+
+namespace {
+
+struct Outcome {
+  std::string winner;
+  int decision_iteration = -1;
+  double total = 0.0;
+};
+
+Outcome run_job(adcl::HistoryStore* history, std::uint64_t seed) {
+  sim::Engine engine(seed);
+  net::Machine machine(net::whale());
+  mpi::WorldOptions options;
+  options.nprocs = 64;
+  mpi::World world(engine, machine, options);
+  Outcome out;
+  world.launch([&](mpi::Ctx& ctx) {
+    const auto comm = ctx.world().comm_world();
+    adcl::TuningOptions opts;
+    opts.tests_per_function = 4;
+    opts.history = history;
+    auto req = adcl::ialltoall_init(ctx, comm, nullptr, nullptr, 32 * 1024,
+                                    opts);
+    for (int it = 0; it < 16; ++it) {
+      req->init();
+      ctx.compute(5e-3);
+      req->progress();
+      req->wait();
+    }
+    if (ctx.world_rank() == 0) {
+      out.winner = req->current_function().name;
+      out.decision_iteration = req->selection().decision_iteration();
+      out.total = ctx.now();
+    }
+  });
+  engine.run();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  adcl::HistoryStore history;
+
+  std::printf("first run (cold cache):\n");
+  const Outcome first = run_job(&history, 1);
+  std::printf("  winner %s, decided at iteration %d, total %.4f s\n",
+              first.winner.c_str(), first.decision_iteration, first.total);
+
+  // Persist across "executions" through a file, as a real deployment would.
+  const char* path = "nbctune_history_example.txt";
+  history.save(path);
+  adcl::HistoryStore reloaded;
+  reloaded.load(path);
+  std::printf("history file %s holds %zu entr%s\n", path, reloaded.size(),
+              reloaded.size() == 1 ? "y" : "ies");
+
+  std::printf("second run (warm cache):\n");
+  const Outcome second = run_job(&reloaded, 2);
+  std::printf("  winner %s, decided at iteration %d, total %.4f s\n",
+              second.winner.c_str(), second.decision_iteration, second.total);
+
+  std::printf("\nlearning phase skipped: %s; time saved: %.4f s (%.1f%%)\n",
+              second.decision_iteration == 0 ? "yes" : "no",
+              first.total - second.total,
+              100.0 * (first.total - second.total) / first.total);
+  std::remove(path);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Domain example: exploring the progress problem (paper §III-C, §IV-A-d).
+//
+// The same non-blocking all-to-all is run with different numbers of
+// explicit progress calls per iteration, on InfiniBand and on TCP.  The
+// output shows (a) that overlap needs progress calls on single-threaded
+// MPI stacks, (b) that too many calls cost more than they gain, and
+// (c) that the best implementation depends on the progress-call count —
+// the reason the paper tunes it at run time.
+
+#include <cstdio>
+#include <vector>
+
+#include "adcl/adcl.hpp"
+#include "mpi/world.hpp"
+#include "net/machine.hpp"
+#include "net/platform.hpp"
+#include "sim/engine.hpp"
+
+using namespace nbctune;
+
+namespace {
+
+double run_with(const net::Platform& platform, int progress_calls,
+                const char* pinned_name, std::string* winner) {
+  sim::Engine engine(3);
+  net::Machine machine(platform);
+  mpi::WorldOptions options;
+  options.nprocs = 32;
+  options.noise_scale = 0.0;
+  mpi::World world(engine, machine, options);
+  double total = 0.0;
+  world.launch([&](mpi::Ctx& ctx) {
+    const auto comm = ctx.world().comm_world();
+    adcl::TuningOptions opts;
+    opts.tests_per_function = 3;  // decided after 9 of the 12 iterations
+    auto req = adcl::ialltoall_init(ctx, comm, nullptr, nullptr, 128 * 1024,
+                                    opts);
+    if (pinned_name != nullptr) {
+      req->selection().force_winner(
+          req->selection().function_set().find_by_name(pinned_name));
+    }
+    for (int it = 0; it < 12; ++it) {
+      req->init();
+      const int pc = progress_calls > 0 ? progress_calls : 1;
+      for (int p = 0; p < pc; ++p) {
+        ctx.compute(20e-3 / pc);
+        if (progress_calls > 0) req->progress();
+      }
+      req->wait();
+    }
+    if (ctx.world_rank() == 0) {
+      total = ctx.now();
+      if (winner != nullptr && req->selection().decided()) {
+        *winner = req->current_function().name;
+      }
+    }
+  });
+  engine.run();
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  for (const auto& platform : {net::whale(), net::whale_tcp()}) {
+    std::printf("\n=== %s: 32 procs, 128 KB Ialltoall, 20 ms compute/iter\n",
+                platform.name.c_str());
+    std::printf("%8s %12s %12s %12s %14s\n", "progress", "linear[s]",
+                "pairwise[s]", "tuned[s]", "tuned winner");
+    for (int pc : {0, 1, 5, 20, 100, 1000}) {
+      std::string winner;
+      const double lin = run_with(platform, pc, "linear", nullptr);
+      const double pw = run_with(platform, pc, "pairwise", nullptr);
+      const double tuned = run_with(platform, pc, nullptr, &winner);
+      std::printf("%8d %12.4f %12.4f %12.4f %14s\n", pc, lin, pw, tuned,
+                  winner.c_str());
+    }
+  }
+  std::printf(
+      "\nReading guide: on InfiniBand the one-round linear algorithm "
+      "overlaps\nonce a few progress calls exist; on TCP it floods the "
+      "link and loses\nto pairwise regardless.  The tuned column follows "
+      "the winner without\nbeing told which network it runs on.\n");
+  return 0;
+}

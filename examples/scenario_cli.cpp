@@ -1,0 +1,96 @@
+// Command-line scenario runner: explore any micro-benchmark configuration
+// without writing code.
+//
+//   scenario_cli [platform] [op] [nprocs] [bytes] [compute_ms] [progress]
+//                [iterations] [policy]
+//
+//   platform   crill | whale | whale-tcp | bgp        (default whale)
+//   op         ialltoall | ibcast                     (default ialltoall)
+//   policy     brute | heuristic | factorial          (default brute)
+//
+// Prints the fixed-implementation table plus the tuned run, like the
+// paper's verification figures.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/microbench.hpp"
+#include "harness/table.hpp"
+#include "net/platform.hpp"
+
+using namespace nbctune;
+using namespace nbctune::harness;
+
+int main(int argc, char** argv) {
+  MicroScenario s;
+  s.platform = net::whale();
+  s.op = OpKind::Ialltoall;
+  s.nprocs = 32;
+  s.bytes = 128 * 1024;
+  s.compute_per_iter = 20e-3;
+  s.progress_calls = 5;
+  s.iterations = 0;  // derived below unless given
+  adcl::PolicyKind policy = adcl::PolicyKind::BruteForce;
+
+  if (argc > 1) s.platform = net::platform_by_name(argv[1]);
+  if (argc > 2) {
+    if (std::strcmp(argv[2], "ibcast") == 0) {
+      s.op = OpKind::Ibcast;
+    } else if (std::strcmp(argv[2], "ialltoall") != 0) {
+      std::fprintf(stderr, "unknown op %s\n", argv[2]);
+      return 1;
+    }
+  }
+  if (argc > 3) s.nprocs = std::atoi(argv[3]);
+  if (argc > 4) s.bytes = std::strtoull(argv[4], nullptr, 10);
+  if (argc > 5) s.compute_per_iter = std::atof(argv[5]) * 1e-3;
+  if (argc > 6) s.progress_calls = std::atoi(argv[6]);
+  if (argc > 7) s.iterations = std::atoi(argv[7]);
+  if (argc > 8) {
+    const std::string p = argv[8];
+    if (p == "heuristic") {
+      policy = adcl::PolicyKind::AttributeHeuristic;
+    } else if (p == "factorial") {
+      policy = adcl::PolicyKind::TwoKFactorial;
+    } else if (p != "brute") {
+      std::fprintf(stderr, "unknown policy %s\n", p.c_str());
+      return 1;
+    }
+  }
+  const int tests = 3;
+  auto fset = scenario_functionset(s);
+  if (s.iterations <= 0) {
+    s.iterations = static_cast<int>(fset->size()) * tests + 6;
+  }
+
+  banner("scenario: " + s.platform.name + " " + op_name(s.op) + " np=" +
+         std::to_string(s.nprocs) + " bytes=" + std::to_string(s.bytes) +
+         " compute/iter=" + Table::num(s.compute_per_iter * 1e3, 1) +
+         "ms pc=" + std::to_string(s.progress_calls) + " iters=" +
+         std::to_string(s.iterations) + " policy=" +
+         adcl::policy_name(policy));
+
+  Table t({"implementation", "loop_time[s]", "vs_best", "note"});
+  double best = 1e300;
+  std::vector<RunOutcome> fixed;
+  for (std::size_t f = 0; f < fset->size(); ++f) {
+    fixed.push_back(run_fixed(s, static_cast<int>(f)));
+    best = std::min(best, fixed.back().loop_time);
+  }
+  for (const auto& r : fixed) {
+    t.add_row({r.impl, Table::num(r.loop_time),
+               Table::num(r.loop_time / best, 2), ""});
+  }
+  adcl::TuningOptions opts;
+  opts.policy = policy;
+  opts.tests_per_function = tests;
+  const auto tuned = run_adcl(s, opts);
+  t.add_row({std::string("ADCL(") + adcl::policy_name(policy) + ")",
+             Table::num(tuned.loop_time), Table::num(tuned.loop_time / best, 2),
+             "winner=" + tuned.impl + " @it" +
+                 std::to_string(tuned.decision_iteration)});
+  t.print();
+  return 0;
+}

@@ -1,0 +1,80 @@
+#pragma once
+
+// Public entry points of the auto-tuning library, mirroring the paper's
+// high-level API (Fig. 1):
+//
+//   ADCL_Ialltoall_init  ->  adcl::ialltoall_init
+//   ADCL_Ibcast_init     ->  adcl::ibcast_init
+//   ADCL_Request_init    ->  Request::init
+//   ADCL_Request_wait    ->  Request::wait
+//   ADCL_Request_start   ->  Request::start        (blocking execution)
+//   ADCL progress fn     ->  Request::progress
+//   ADCL_Timer_create    ->  adcl::Timer
+//   ADCL_Timer_start/end ->  Timer::start / Timer::stop
+//
+// See DESIGN.md for how the pieces map to the paper's sections.
+
+#include <memory>
+
+#include "adcl/attribute.hpp"
+#include "adcl/filtering.hpp"
+#include "adcl/function.hpp"
+#include "adcl/functionsets.hpp"
+#include "adcl/history.hpp"
+#include "adcl/request.hpp"
+#include "adcl/selection.hpp"
+
+namespace nbctune::adcl {
+
+/// Create a persistent auto-tuned non-blocking all-to-all.  sbuf/rbuf hold
+/// comm.size() blocks of `block` bytes each.  Pass `shared` to co-tune
+/// with existing requests of the same function-set; `include_blocking`
+/// adds blocking implementations to the set (paper §IV-B).
+std::unique_ptr<Request> ialltoall_init(
+    mpi::Ctx& ctx, const mpi::Comm& comm, const void* sbuf, void* rbuf,
+    std::size_t block, const TuningOptions& opts = {},
+    std::shared_ptr<SelectionState> shared = nullptr,
+    bool include_blocking = false);
+
+/// Persistent auto-tuned non-blocking broadcast of `bytes` from `root`.
+std::unique_ptr<Request> ibcast_init(
+    mpi::Ctx& ctx, const mpi::Comm& comm, void* buf, std::size_t bytes,
+    int root, const TuningOptions& opts = {},
+    std::shared_ptr<SelectionState> shared = nullptr);
+
+/// Persistent auto-tuned non-blocking allgather (`block` bytes per rank).
+std::unique_ptr<Request> iallgather_init(
+    mpi::Ctx& ctx, const mpi::Comm& comm, const void* sbuf, void* rbuf,
+    std::size_t block, const TuningOptions& opts = {},
+    std::shared_ptr<SelectionState> shared = nullptr);
+
+/// Persistent auto-tuned non-blocking reduce of `count` elements.
+std::unique_ptr<Request> ireduce_init(
+    mpi::Ctx& ctx, const mpi::Comm& comm, const void* sbuf, void* rbuf,
+    std::size_t count, nbc::DType dtype, mpi::ReduceOp op, int root,
+    const TuningOptions& opts = {},
+    std::shared_ptr<SelectionState> shared = nullptr);
+
+/// Persistent auto-tuned non-blocking allreduce of `count` elements.
+std::unique_ptr<Request> iallreduce_init(
+    mpi::Ctx& ctx, const mpi::Comm& comm, const void* sbuf, void* rbuf,
+    std::size_t count, nbc::DType dtype, mpi::ReduceOp op,
+    const TuningOptions& opts = {},
+    std::shared_ptr<SelectionState> shared = nullptr);
+
+/// Persistent auto-tuned Cartesian halo exchange on `topo` (which must
+/// match the communicator size).  sbuf/rbuf hold 2*ndims blocks of
+/// `block` bytes, ordered (dim0,low), (dim0,high), (dim1,low), ...
+std::unique_ptr<Request> ineighbor_init(
+    mpi::Ctx& ctx, const mpi::Comm& comm, coll::CartTopo topo,
+    const void* sbuf, void* rbuf, std::size_t block,
+    const TuningOptions& opts = {},
+    std::shared_ptr<SelectionState> shared = nullptr);
+
+/// Low-level entry (paper §III-A): tune a user-supplied function-set.
+std::unique_ptr<Request> request_create(
+    mpi::Ctx& ctx, std::shared_ptr<const FunctionSet> fset, OpArgs args,
+    const TuningOptions& opts = {},
+    std::shared_ptr<SelectionState> shared = nullptr);
+
+}  // namespace nbctune::adcl

@@ -1,0 +1,118 @@
+#include "adcl/adcl.hpp"
+
+namespace nbctune::adcl {
+
+namespace {
+std::shared_ptr<const FunctionSet> fset_of(
+    const std::shared_ptr<SelectionState>& shared,
+    std::shared_ptr<const FunctionSet> fresh) {
+  return shared ? shared->fset_ptr() : std::move(fresh);
+}
+}  // namespace
+
+std::unique_ptr<Request> request_create(mpi::Ctx& ctx,
+                                        std::shared_ptr<const FunctionSet> fset,
+                                        OpArgs args, const TuningOptions& opts,
+                                        std::shared_ptr<SelectionState> shared) {
+  return std::make_unique<Request>(ctx, std::move(fset), std::move(args), opts,
+                                   std::move(shared));
+}
+
+std::unique_ptr<Request> ialltoall_init(mpi::Ctx& ctx, const mpi::Comm& comm,
+                                        const void* sbuf, void* rbuf,
+                                        std::size_t block,
+                                        const TuningOptions& opts,
+                                        std::shared_ptr<SelectionState> shared,
+                                        bool include_blocking) {
+  OpArgs args;
+  args.comm = comm;
+  args.sbuf = sbuf;
+  args.rbuf = rbuf;
+  args.bytes = block;
+  auto fset = fset_of(shared, make_ialltoall_functionset(include_blocking));
+  return std::make_unique<Request>(ctx, std::move(fset), std::move(args), opts,
+                                   std::move(shared));
+}
+
+std::unique_ptr<Request> ibcast_init(mpi::Ctx& ctx, const mpi::Comm& comm,
+                                     void* buf, std::size_t bytes, int root,
+                                     const TuningOptions& opts,
+                                     std::shared_ptr<SelectionState> shared) {
+  OpArgs args;
+  args.comm = comm;
+  args.rbuf = buf;
+  args.bytes = bytes;
+  args.root = root;
+  auto fset = fset_of(shared, make_ibcast_functionset());
+  return std::make_unique<Request>(ctx, std::move(fset), std::move(args), opts,
+                                   std::move(shared));
+}
+
+std::unique_ptr<Request> iallgather_init(mpi::Ctx& ctx, const mpi::Comm& comm,
+                                         const void* sbuf, void* rbuf,
+                                         std::size_t block,
+                                         const TuningOptions& opts,
+                                         std::shared_ptr<SelectionState> shared) {
+  OpArgs args;
+  args.comm = comm;
+  args.sbuf = sbuf;
+  args.rbuf = rbuf;
+  args.bytes = block;
+  auto fset = fset_of(shared, make_iallgather_functionset());
+  return std::make_unique<Request>(ctx, std::move(fset), std::move(args), opts,
+                                   std::move(shared));
+}
+
+std::unique_ptr<Request> iallreduce_init(mpi::Ctx& ctx, const mpi::Comm& comm,
+                                         const void* sbuf, void* rbuf,
+                                         std::size_t count, nbc::DType dtype,
+                                         mpi::ReduceOp op,
+                                         const TuningOptions& opts,
+                                         std::shared_ptr<SelectionState> shared) {
+  OpArgs args;
+  args.comm = comm;
+  args.sbuf = sbuf;
+  args.rbuf = rbuf;
+  args.count = count;
+  args.dtype = dtype;
+  args.op = op;
+  auto fset = fset_of(shared, make_iallreduce_functionset());
+  return std::make_unique<Request>(ctx, std::move(fset), std::move(args), opts,
+                                   std::move(shared));
+}
+
+std::unique_ptr<Request> ineighbor_init(mpi::Ctx& ctx, const mpi::Comm& comm,
+                                        coll::CartTopo topo, const void* sbuf,
+                                        void* rbuf, std::size_t block,
+                                        const TuningOptions& opts,
+                                        std::shared_ptr<SelectionState> shared) {
+  OpArgs args;
+  args.comm = comm;
+  args.sbuf = sbuf;
+  args.rbuf = rbuf;
+  args.bytes = block;
+  auto fset = fset_of(shared, make_ineighbor_functionset(std::move(topo)));
+  return std::make_unique<Request>(ctx, std::move(fset), std::move(args), opts,
+                                   std::move(shared));
+}
+
+std::unique_ptr<Request> ireduce_init(mpi::Ctx& ctx, const mpi::Comm& comm,
+                                      const void* sbuf, void* rbuf,
+                                      std::size_t count, nbc::DType dtype,
+                                      mpi::ReduceOp op, int root,
+                                      const TuningOptions& opts,
+                                      std::shared_ptr<SelectionState> shared) {
+  OpArgs args;
+  args.comm = comm;
+  args.sbuf = sbuf;
+  args.rbuf = rbuf;
+  args.count = count;
+  args.dtype = dtype;
+  args.op = op;
+  args.root = root;
+  auto fset = fset_of(shared, make_ireduce_functionset());
+  return std::make_unique<Request>(ctx, std::move(fset), std::move(args), opts,
+                                   std::move(shared));
+}
+
+}  // namespace nbctune::adcl

@@ -1,0 +1,47 @@
+#pragma once
+
+// Attributes characterize implementations inside a function-set (paper
+// §III-C): e.g. the broadcast fan-out and internal segment size.  The
+// attribute-based selection heuristic and the 2^k factorial design operate
+// on these instead of enumerating every function.
+
+#include <string>
+#include <vector>
+
+namespace nbctune::adcl {
+
+/// One characteristic of an implementation, with its admissible values.
+struct Attribute {
+  std::string name;
+  std::vector<int> values;  ///< admissible values, ascending where ordered
+};
+
+/// The attribute dimensions of a function-set.
+class AttributeSet {
+ public:
+  AttributeSet() = default;
+  explicit AttributeSet(std::vector<Attribute> attrs)
+      : attrs_(std::move(attrs)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return attrs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return attrs_.empty(); }
+  [[nodiscard]] const Attribute& at(std::size_t i) const {
+    return attrs_.at(i);
+  }
+  [[nodiscard]] const std::vector<Attribute>& all() const noexcept {
+    return attrs_;
+  }
+
+  /// Index of an attribute by name, or -1.
+  [[nodiscard]] int index_of(const std::string& name) const {
+    for (std::size_t i = 0; i < attrs_.size(); ++i) {
+      if (attrs_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace nbctune::adcl

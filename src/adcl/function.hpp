@@ -1,0 +1,97 @@
+#pragma once
+
+// Functions and function-sets (paper §III-C): a function-set is one
+// communication operation; a function is one concrete implementation of
+// it, optionally characterized by attribute values.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adcl/attribute.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/types.hpp"
+#include "mpi/world.hpp"
+#include "nbc/schedule.hpp"
+
+namespace nbctune::adcl {
+
+/// The persistent operation arguments a request binds a function-set to.
+/// Interpretation is per operation (alltoall uses sbuf/rbuf/block; bcast
+/// uses rbuf/bytes/root; reduce adds count/dtype/op).
+struct OpArgs {
+  mpi::Comm comm;
+  const void* sbuf = nullptr;
+  void* rbuf = nullptr;
+  std::size_t bytes = 0;  ///< per-block bytes (alltoall/allgather) or total
+  int root = 0;
+  std::size_t count = 0;  ///< reduction element count
+  nbc::DType dtype = nbc::DType::F64;
+  mpi::ReduceOp op = mpi::ReduceOp::Sum;
+};
+
+/// One implementation of the operation.
+struct Function {
+  std::string name;
+  /// Attribute values, parallel to the function-set's AttributeSet.
+  std::vector<int> attrs;
+  /// Blocking implementations have no completion phase: executing them
+  /// runs to completion inside Request::init() and the wait function
+  /// pointer is conceptually NULL (paper §III-E / §IV-B).
+  bool blocking = false;
+  /// Build this implementation's schedule for the bound arguments on the
+  /// calling rank.  The schedule references args' buffers directly.
+  std::function<nbc::Schedule(mpi::Ctx&, const OpArgs&)> build;
+};
+
+/// A communication operation together with all its implementations.
+class FunctionSet {
+ public:
+  FunctionSet() = default;
+  FunctionSet(std::string name, AttributeSet attrs,
+              std::vector<Function> functions)
+      : name_(std::move(name)),
+        attrs_(std::move(attrs)),
+        functions_(std::move(functions)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const AttributeSet& attributes() const noexcept {
+    return attrs_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return functions_.size(); }
+  [[nodiscard]] const Function& function(std::size_t i) const {
+    return functions_.at(i);
+  }
+  [[nodiscard]] const std::vector<Function>& functions() const noexcept {
+    return functions_;
+  }
+
+  /// Index of the function with exactly these attribute values, or -1.
+  [[nodiscard]] int find_by_attrs(const std::vector<int>& attrs) const {
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+      if (functions_[i].attrs == attrs) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Index of the function with this name, or -1.
+  [[nodiscard]] int find_by_name(const std::string& name) const {
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+      if (functions_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Register an additional implementation (the low-level user API the
+  /// paper mentions: applications can add their own functions and reuse
+  /// the ADCL selection logic).
+  void add(Function f) { functions_.push_back(std::move(f)); }
+
+ private:
+  std::string name_;
+  AttributeSet attrs_;
+  std::vector<Function> functions_;
+};
+
+}  // namespace nbctune::adcl

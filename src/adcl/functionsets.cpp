@@ -1,0 +1,257 @@
+#include "adcl/functionsets.hpp"
+
+#include <string>
+
+#include <stdexcept>
+
+#include "coll/iallgather.hpp"
+#include "coll/iallreduce.hpp"
+#include "coll/ialltoall.hpp"
+#include "coll/ibcast.hpp"
+#include "coll/ineighbor.hpp"
+#include "coll/ireduce.hpp"
+
+namespace nbctune::adcl {
+
+namespace {
+int comm_rank(mpi::Ctx& ctx, const OpArgs& a) {
+  return a.comm.rank_of_world(ctx.world_rank());
+}
+
+nbc::Schedule build_a2a(int algo, mpi::Ctx& ctx, const OpArgs& a) {
+  const int n = a.comm.size();
+  const int me = comm_rank(ctx, a);
+  switch (algo) {
+    case kA2aLinear:
+      return coll::build_ialltoall_linear(me, n, a.sbuf, a.rbuf, a.bytes);
+    case kA2aBruck:
+      return coll::build_ialltoall_bruck(me, n, a.sbuf, a.rbuf, a.bytes);
+    case kA2aPairwise:
+    default:
+      return coll::build_ialltoall_pairwise(me, n, a.sbuf, a.rbuf, a.bytes);
+  }
+}
+}  // namespace
+
+std::shared_ptr<FunctionSet> make_ialltoall_functionset(bool include_blocking) {
+  std::vector<Attribute> attr_list{
+      {"algorithm", {kA2aLinear, kA2aBruck, kA2aPairwise}}};
+  if (include_blocking) attr_list.push_back({"blocking", {0, 1}});
+  AttributeSet attrs(std::move(attr_list));
+  std::vector<Function> fns;
+  const char* names[] = {"linear", "dissemination", "pairwise"};
+  for (int algo : {kA2aLinear, kA2aBruck, kA2aPairwise}) {
+    Function f;
+    f.name = names[algo];
+    f.attrs = include_blocking ? std::vector<int>{algo, 0}
+                               : std::vector<int>{algo};
+    f.build = [algo](mpi::Ctx& ctx, const OpArgs& a) {
+      return build_a2a(algo, ctx, a);
+    };
+    fns.push_back(std::move(f));
+  }
+  if (include_blocking) {
+    for (int algo : {kA2aLinear, kA2aBruck, kA2aPairwise}) {
+      Function f;
+      f.name = std::string("blocking-") + names[algo];
+      f.attrs = {algo, 1};
+      f.blocking = true;
+      f.build = [algo](mpi::Ctx& ctx, const OpArgs& a) {
+        return build_a2a(algo, ctx, a);
+      };
+      fns.push_back(std::move(f));
+    }
+  }
+  return std::make_shared<FunctionSet>(
+      include_blocking ? "ialltoall+blocking" : "ialltoall", std::move(attrs),
+      std::move(fns));
+}
+
+std::shared_ptr<FunctionSet> make_ibcast_functionset() {
+  // Fan-out 0 (linear), 1 (chain), 2..5 (k-ary), binomial; segment sizes
+  // 32, 64, 128 KB: the paper's 7 x 3 = 21 implementations.
+  AttributeSet attrs{{
+      {"fanout", {0, 1, 2, 3, 4, 5, kBcastBinomialAttr}},
+      {"segsize", {32 * 1024, 64 * 1024, 128 * 1024}},
+  }};
+  std::vector<Function> fns;
+  for (int fanout : attrs.at(0).values) {
+    for (int seg : attrs.at(1).values) {
+      Function f;
+      const std::string fo =
+          fanout == 0                    ? std::string("linear")
+          : fanout == kBcastBinomialAttr ? std::string("binomial")
+          : fanout == 1                  ? std::string("chain")
+                                         : "fanout" + std::to_string(fanout);
+      f.name = fo + "/seg" + std::to_string(seg / 1024) + "k";
+      f.attrs = {fanout, seg};
+      f.build = [fanout, seg](mpi::Ctx& ctx, const OpArgs& a) {
+        const int real_fanout = fanout == kBcastBinomialAttr
+                                    ? coll::kFanoutBinomial
+                                    : fanout;
+        return coll::build_ibcast(comm_rank(ctx, a), a.comm.size(), a.rbuf,
+                                  a.bytes, a.root, real_fanout,
+                                  static_cast<std::size_t>(seg));
+      };
+      fns.push_back(std::move(f));
+    }
+  }
+  return std::make_shared<FunctionSet>("ibcast", std::move(attrs),
+                                       std::move(fns));
+}
+
+std::shared_ptr<FunctionSet> make_iallgather_functionset() {
+  AttributeSet attrs{{{"algorithm", {0, 1, 2}}}};
+  std::vector<Function> fns(3);
+  fns[0].name = "linear";
+  fns[0].attrs = {0};
+  fns[0].build = [](mpi::Ctx& ctx, const OpArgs& a) {
+    return coll::build_iallgather_linear(comm_rank(ctx, a), a.comm.size(),
+                                         a.sbuf, a.rbuf, a.bytes);
+  };
+  fns[1].name = "ring";
+  fns[1].attrs = {1};
+  fns[1].build = [](mpi::Ctx& ctx, const OpArgs& a) {
+    return coll::build_iallgather_ring(comm_rank(ctx, a), a.comm.size(),
+                                       a.sbuf, a.rbuf, a.bytes);
+  };
+  fns[2].name = "recursive-doubling";
+  fns[2].attrs = {2};
+  fns[2].build = [](mpi::Ctx& ctx, const OpArgs& a) {
+    const int n = a.comm.size();
+    // Production decision logic: fall back to ring off powers of two.
+    if (!coll::is_pow2(n)) {
+      return coll::build_iallgather_ring(comm_rank(ctx, a), n, a.sbuf, a.rbuf,
+                                         a.bytes);
+    }
+    return coll::build_iallgather_recursive_doubling(comm_rank(ctx, a), n,
+                                                     a.sbuf, a.rbuf, a.bytes);
+  };
+  return std::make_shared<FunctionSet>("iallgather", std::move(attrs),
+                                       std::move(fns));
+}
+
+std::shared_ptr<FunctionSet> make_ireduce_functionset() {
+  AttributeSet attrs{{
+      {"algorithm", {0, 1}},  // 0 = binomial, 1 = chain
+      {"segsize", {0, 32 * 1024}},
+  }};
+  std::vector<Function> fns;
+  for (int algo : {0, 1}) {
+    for (int seg : attrs.at(1).values) {
+      if (algo == 0 && seg != 0) continue;  // binomial is unsegmented
+      Function f;
+      f.name = algo == 0 ? "binomial"
+                         : (seg == 0 ? "chain" : "chain/seg32k");
+      f.attrs = {algo, seg};
+      f.build = [algo, seg](mpi::Ctx& ctx, const OpArgs& a) {
+        const int n = a.comm.size();
+        const int me = comm_rank(ctx, a);
+        if (algo == 0) {
+          return coll::build_ireduce_binomial(me, n, a.sbuf, a.rbuf, a.count,
+                                              a.dtype, a.op, a.root);
+        }
+        const std::size_t seg_elems =
+            seg == 0 ? 0 : static_cast<std::size_t>(seg) / nbc::dtype_size(a.dtype);
+        return coll::build_ireduce_chain(me, n, a.sbuf, a.rbuf, a.count,
+                                         a.dtype, a.op, a.root, seg_elems);
+      };
+      fns.push_back(std::move(f));
+    }
+  }
+  return std::make_shared<FunctionSet>("ireduce", std::move(attrs),
+                                       std::move(fns));
+}
+
+std::shared_ptr<FunctionSet> make_iallreduce_functionset() {
+  AttributeSet attrs{{{"algorithm", {0, 1, 2}}}};
+  std::vector<Function> fns(3);
+  fns[0].name = "recursive-doubling";
+  fns[0].attrs = {0};
+  fns[0].build = [](mpi::Ctx& ctx, const OpArgs& a) {
+    const int n = a.comm.size();
+    const int me = comm_rank(ctx, a);
+    // Production decision logic: fall back to ring off powers of two.
+    if (!coll::is_pow2(n)) {
+      return coll::build_iallreduce_ring(me, n, a.sbuf, a.rbuf, a.count,
+                                         a.dtype, a.op);
+    }
+    return coll::build_iallreduce_recursive_doubling(me, n, a.sbuf, a.rbuf,
+                                                     a.count, a.dtype, a.op);
+  };
+  fns[1].name = "reduce-bcast";
+  fns[1].attrs = {1};
+  fns[1].build = [](mpi::Ctx& ctx, const OpArgs& a) {
+    return coll::build_iallreduce_reduce_bcast(comm_rank(ctx, a),
+                                               a.comm.size(), a.sbuf, a.rbuf,
+                                               a.count, a.dtype, a.op);
+  };
+  fns[2].name = "ring";
+  fns[2].attrs = {2};
+  fns[2].build = [](mpi::Ctx& ctx, const OpArgs& a) {
+    return coll::build_iallreduce_ring(comm_rank(ctx, a), a.comm.size(),
+                                       a.sbuf, a.rbuf, a.count, a.dtype,
+                                       a.op);
+  };
+  return std::make_shared<FunctionSet>("iallreduce", std::move(attrs),
+                                       std::move(fns));
+}
+
+std::shared_ptr<FunctionSet> make_ineighbor_functionset(coll::CartTopo topo) {
+  AttributeSet attrs{{{"ordering", {0, 1, 2}}}};
+  std::vector<Function> fns(3);
+  auto check = [](const coll::CartTopo& t, const OpArgs& a) {
+    if (t.size() != a.comm.size()) {
+      throw std::invalid_argument(
+          "ineighbor: topology size does not match the communicator");
+    }
+  };
+  fns[0].name = "all-at-once";
+  fns[0].attrs = {0};
+  fns[0].build = [topo, check](mpi::Ctx& ctx, const OpArgs& a) {
+    check(topo, a);
+    return coll::build_ineighbor_all_at_once(topo, comm_rank(ctx, a), a.sbuf,
+                                             a.rbuf, a.bytes);
+  };
+  fns[1].name = "dimension-ordered";
+  fns[1].attrs = {1};
+  fns[1].build = [topo, check](mpi::Ctx& ctx, const OpArgs& a) {
+    check(topo, a);
+    return coll::build_ineighbor_dimension_ordered(topo, comm_rank(ctx, a),
+                                                   a.sbuf, a.rbuf, a.bytes);
+  };
+  fns[2].name = "even-odd";
+  fns[2].attrs = {2};
+  fns[2].build = [topo, check](mpi::Ctx& ctx, const OpArgs& a) {
+    check(topo, a);
+    return coll::build_ineighbor_even_odd(topo, comm_rank(ctx, a), a.sbuf,
+                                          a.rbuf, a.bytes);
+  };
+  return std::make_shared<FunctionSet>("ineighbor", std::move(attrs),
+                                       std::move(fns));
+}
+
+std::shared_ptr<FunctionSet> make_ialltoall_progress_functionset(
+    std::vector<int> progress_counts, bool include_blocking) {
+  if (progress_counts.empty()) {
+    throw std::invalid_argument(
+        "progress function-set needs at least one candidate count");
+  }
+  auto base = make_ialltoall_functionset(include_blocking);
+  std::vector<Attribute> attr_list = base->attributes().all();
+  attr_list.push_back(Attribute{"progress", progress_counts});
+  std::vector<Function> fns;
+  for (const Function& bf : base->functions()) {
+    for (int pc : progress_counts) {
+      Function f = bf;
+      f.name = bf.name + "/pc" + std::to_string(pc);
+      f.attrs.push_back(pc);
+      fns.push_back(std::move(f));
+    }
+  }
+  return std::make_shared<FunctionSet>(
+      include_blocking ? "ialltoall+progress+blocking" : "ialltoall+progress",
+      AttributeSet(std::move(attr_list)), std::move(fns));
+}
+
+}  // namespace nbctune::adcl

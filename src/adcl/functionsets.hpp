@@ -1,0 +1,60 @@
+#pragma once
+
+// The built-in function-sets (paper §III-E):
+//
+//   Ialltoall  attribute "algorithm": linear, dissemination (Bruck),
+//              pairwise exchange — 3 functions; optionally extended with
+//              blocking counterparts (attribute "blocking"), reproducing
+//              the modified function-set of §IV-B
+//   Ibcast     attributes "fanout" (0 = linear, 1 = chain, 2..5 = k-ary,
+//              99 = binomial) x "segsize" (32/64/128 KB) — the paper's
+//              7 x 3 = 21 functions
+//   Iallgather attribute "algorithm": linear, ring, recursive doubling
+//   Ireduce    attributes "algorithm" (binomial, chain) x "segsize"
+//
+// All are factories so applications can also assemble their own sets via
+// the low-level FunctionSet interface.
+
+#include <memory>
+#include <vector>
+
+#include "adcl/function.hpp"
+#include "coll/ineighbor.hpp"
+
+namespace nbctune::adcl {
+
+/// Algorithm attribute values of the Ialltoall set.
+inline constexpr int kA2aLinear = 0;
+inline constexpr int kA2aBruck = 1;
+inline constexpr int kA2aPairwise = 2;
+
+/// Fan-out attribute value denoting the binomial tree.
+inline constexpr int kBcastBinomialAttr = 99;
+
+std::shared_ptr<FunctionSet> make_ialltoall_functionset(
+    bool include_blocking = false);
+
+std::shared_ptr<FunctionSet> make_ibcast_functionset();
+
+std::shared_ptr<FunctionSet> make_iallgather_functionset();
+
+std::shared_ptr<FunctionSet> make_ireduce_functionset();
+
+/// Allreduce: recursive doubling (ring fallback off powers of two),
+/// binomial reduce+broadcast, ring reduce-scatter+allgather.
+std::shared_ptr<FunctionSet> make_iallreduce_functionset();
+
+/// Cartesian neighborhood (halo) exchange on `topo` — ADCL's original
+/// operation family (paper §III-A).  The topology must match the
+/// communicator the request is bound to.
+std::shared_ptr<FunctionSet> make_ineighbor_functionset(coll::CartTopo topo);
+
+/// Ialltoall set crossed with a "progress" attribute: every algorithm is
+/// offered at each candidate progress-call count, so the tuner optimizes
+/// the number of progress calls together with the algorithm — the
+/// opportunity the paper points out in §III-C.  Applications read the
+/// tuned count through Request::recommended_progress_calls().
+std::shared_ptr<FunctionSet> make_ialltoall_progress_functionset(
+    std::vector<int> progress_counts, bool include_blocking = false);
+
+}  // namespace nbctune::adcl

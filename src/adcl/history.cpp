@@ -1,0 +1,45 @@
+#include "adcl/history.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace nbctune::adcl {
+
+void HistoryStore::put(const std::string& key, const std::string& winner) {
+  entries_[key] = winner;
+}
+
+std::optional<std::string> HistoryStore::get(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void HistoryStore::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("HistoryStore: cannot write " + path);
+  for (const auto& [k, v] : entries_) out << k << '\t' << v << '\n';
+}
+
+void HistoryStore::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("HistoryStore: cannot read " + path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    entries_[line.substr(0, tab)] = line.substr(tab + 1);
+  }
+}
+
+std::string history_key(const std::string& platform, const std::string& fset,
+                        int nprocs, std::size_t bytes,
+                        const std::string& extra) {
+  std::string key =
+      platform + "/" + fset + "/np" + std::to_string(nprocs) + "/b" +
+      std::to_string(bytes);
+  if (!extra.empty()) key += "/" + extra;
+  return key;
+}
+
+}  // namespace nbctune::adcl

@@ -1,0 +1,46 @@
+#pragma once
+
+// Historic learning (paper §IV-B / §V): transfer winner decisions across
+// executions so later runs skip the learning phase.  Keys combine the
+// platform fingerprint, operation, process count and message size; the
+// store round-trips to a simple text file.
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace nbctune::adcl {
+
+/// Persistent winner cache.  In-process it is a plain map; save()/load()
+/// serialize to disk for cross-run reuse.
+class HistoryStore {
+ public:
+  /// Record a winner; later puts for the same key overwrite (the newest
+  /// run knows best).
+  void put(const std::string& key, const std::string& winner_name);
+
+  /// Look up a winner name.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+
+  /// Serialize to / from a text file ("key<TAB>winner" lines).
+  void save(const std::string& path) const;
+  /// Merge entries from a file into the store; missing file is an error.
+  void load(const std::string& path);
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+/// Canonical history key for a tuned operation.
+std::string history_key(const std::string& platform, const std::string& fset,
+                        int nprocs, std::size_t bytes,
+                        const std::string& extra = {});
+
+}  // namespace nbctune::adcl

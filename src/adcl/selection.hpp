@@ -1,0 +1,131 @@
+#pragma once
+
+// Runtime selection logic (paper §III-A): during the first iterations the
+// library cycles through candidate implementations, measuring each a fixed
+// number of times; a policy then picks the winner used for the rest of the
+// run.  Three policies are provided, mirroring ADCL:
+//
+//   BruteForce          measure every function; guaranteed to find the best
+//   AttributeHeuristic  optimize one attribute at a time, pruning functions
+//                       with non-optimal values ([13]; assumes attributes
+//                       are not correlated)
+//   TwoKFactorial       2^k factorial screening over attribute extremes,
+//                       then coordinate refinement (handles correlated
+//                       attributes; [4])
+//
+// Policies are deterministic state machines over (function, score) pairs;
+// scores are robust-filtered, rank-agreed execution times.
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adcl/filtering.hpp"
+#include "adcl/function.hpp"
+
+namespace nbctune::adcl {
+
+class HistoryStore;
+
+enum class PolicyKind { BruteForce, AttributeHeuristic, TwoKFactorial };
+
+[[nodiscard]] const char* policy_name(PolicyKind k) noexcept;
+
+/// Knobs of the tuning process.
+struct TuningOptions {
+  PolicyKind policy = PolicyKind::BruteForce;
+  /// Measurements per candidate implementation before scoring it.
+  int tests_per_function = 8;
+  FilterKind filter = FilterKind::Iqr;
+  double trim_frac = 0.25;
+  /// Optional historic-learning store: reuse past winners, record new ones.
+  HistoryStore* history = nullptr;
+  /// Extra key component for history lookups (e.g. progress-call count).
+  std::string history_extra;
+};
+
+/// A selection policy: a deterministic walk over functions to measure.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  /// First function to measure; -1 if the decision is immediate.
+  virtual int first() = 0;
+  /// Batch for `func` finished with robust `score`; returns the next
+  /// function to measure or -1 when ready to decide.
+  virtual int next(int func, double score) = 0;
+  /// The winning function (valid after next() returned -1).
+  [[nodiscard]] virtual int winner() const = 0;
+};
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind, const FunctionSet& fset);
+
+/// Estimated main effect of each attribute from a 2^k factorial run
+/// (positive = raising the attribute from lo to hi increases time).
+/// Only meaningful for TwoKFactorial policies; exposed for reporting.
+std::vector<double> factorial_main_effects(const Policy& policy);
+
+/// The tuning state of one operation: tracks per-function samples, drives
+/// the policy, and synchronizes decisions across ranks.  Shareable by
+/// several Requests of the same operation (co-tuned, e.g. the window
+/// slots of the FFT kernel).
+class SelectionState {
+ public:
+  SelectionState(std::shared_ptr<const FunctionSet> fset, TuningOptions opts);
+
+  /// The function to execute in the current iteration.
+  [[nodiscard]] int current() const noexcept { return current_; }
+  [[nodiscard]] bool decided() const noexcept { return decided_; }
+  [[nodiscard]] int winner() const noexcept { return winner_; }
+
+  /// Record one measured iteration.  When the batch for the current
+  /// function completes, agrees on the score across `comm` (allreduce max)
+  /// and advances the policy; may finalize the decision.
+  void record(mpi::Ctx& ctx, const mpi::Comm& comm, double sample);
+
+  /// Historic learning / testing: skip the learning phase entirely.
+  void force_winner(int func);
+
+  // ---- introspection ----
+  [[nodiscard]] const FunctionSet& function_set() const noexcept {
+    return *fset_;
+  }
+  [[nodiscard]] std::shared_ptr<const FunctionSet> fset_ptr() const noexcept {
+    return fset_;
+  }
+  [[nodiscard]] const TuningOptions& options() const noexcept { return opts_; }
+  [[nodiscard]] int iterations() const noexcept { return iterations_; }
+  /// Iteration at which the decision fell (-1 while undecided).
+  [[nodiscard]] int decision_iteration() const noexcept {
+    return decision_iteration_;
+  }
+  /// Simulated time at which the decision fell (NaN while undecided).
+  [[nodiscard]] double decision_time() const noexcept {
+    return decision_time_;
+  }
+  /// Agreed scores of all measured functions.
+  [[nodiscard]] const std::map<int, double>& scores() const noexcept {
+    return scores_;
+  }
+  /// Key under which the decision is recorded in the history store.
+  void set_history_key(std::string key) { history_key_ = std::move(key); }
+
+ private:
+  void finalize(mpi::Ctx& ctx);
+
+  std::shared_ptr<const FunctionSet> fset_;
+  TuningOptions opts_;
+  std::unique_ptr<Policy> policy_;
+  int current_ = 0;
+  bool decided_ = false;
+  int winner_ = -1;
+  int iterations_ = 0;
+  int decision_iteration_ = -1;
+  double decision_time_ = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> batch_;
+  std::map<int, double> scores_;
+  std::string history_key_;
+};
+
+}  // namespace nbctune::adcl

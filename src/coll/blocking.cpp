@@ -1,0 +1,40 @@
+#include "coll/blocking.hpp"
+
+#include "coll/ialltoall.hpp"
+#include "coll/ibcast.hpp"
+#include "nbc/handle.hpp"
+
+namespace nbctune::coll {
+
+void run_blocking(mpi::Ctx& ctx, const mpi::Comm& comm,
+                  const nbc::Schedule& schedule, int tag) {
+  nbc::Handle h(ctx, comm, &schedule, tag);
+  h.start();
+  h.wait();
+}
+
+void blocking_alltoall(mpi::Ctx& ctx, const mpi::Comm& comm, const void* sbuf,
+                       void* rbuf, std::size_t block) {
+  const int n = comm.size();
+  const int me = comm.rank_of_world(ctx.world_rank());
+  nbc::Schedule s;
+  if (block <= 256) {
+    s = build_ialltoall_bruck(me, n, sbuf, rbuf, block);
+  } else if (block <= 32 * 1024) {
+    s = build_ialltoall_linear(me, n, sbuf, rbuf, block);
+  } else {
+    s = build_ialltoall_pairwise(me, n, sbuf, rbuf, block);
+  }
+  run_blocking(ctx, comm, s, ctx.alloc_nbc_tag());
+}
+
+void blocking_bcast(mpi::Ctx& ctx, const mpi::Comm& comm, void* buf,
+                    std::size_t bytes, int root) {
+  const int n = comm.size();
+  const int me = comm.rank_of_world(ctx.world_rank());
+  nbc::Schedule s =
+      build_ibcast(me, n, buf, bytes, root, kFanoutBinomial, 64 * 1024);
+  run_blocking(ctx, comm, s, ctx.alloc_nbc_tag());
+}
+
+}  // namespace nbctune::coll

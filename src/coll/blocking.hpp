@@ -1,0 +1,29 @@
+#pragma once
+
+// Blocking execution of collective schedules, and the fixed blocking
+// MPI_Alltoall-style comparator used by the paper's application study
+// (Figs. 10-12): a production-MPI-like decision rule selecting bruck for
+// tiny, linear for medium, pairwise for large payloads.
+
+#include <cstddef>
+
+#include "mpi/world.hpp"
+#include "nbc/schedule.hpp"
+
+namespace nbctune::coll {
+
+/// Run a schedule to completion (start + wait); the blocking counterpart
+/// of handing the schedule to an nbc::Handle.
+void run_blocking(mpi::Ctx& ctx, const mpi::Comm& comm,
+                  const nbc::Schedule& schedule, int tag);
+
+/// Blocking all-to-all with a fixed size-based algorithm choice, standing
+/// in for MPI_Alltoall of a tuned production MPI.
+void blocking_alltoall(mpi::Ctx& ctx, const mpi::Comm& comm, const void* sbuf,
+                       void* rbuf, std::size_t block);
+
+/// Blocking broadcast comparator (binomial, 64 KB segments).
+void blocking_bcast(mpi::Ctx& ctx, const mpi::Comm& comm, void* buf,
+                    std::size_t bytes, int root);
+
+}  // namespace nbctune::coll

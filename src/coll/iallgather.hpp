@@ -1,0 +1,31 @@
+#pragma once
+
+// Non-blocking allgather schedules (linear, ring, recursive doubling —
+// the shapes the paper converted from Open MPI to LibNBC schedules).
+//
+// Buffers: `sbuf` holds this rank's block (`block` bytes); `rbuf` holds n
+// blocks, block i ending up with rank i's contribution on every rank.
+
+#include <cstddef>
+
+#include "nbc/schedule.hpp"
+
+namespace nbctune::coll {
+
+nbc::Schedule build_iallgather_linear(int me, int n, const void* sbuf,
+                                      void* rbuf, std::size_t block);
+
+nbc::Schedule build_iallgather_ring(int me, int n, const void* sbuf,
+                                    void* rbuf, std::size_t block);
+
+/// Recursive doubling; requires n to be a power of two (callers fall back
+/// to ring otherwise, mirroring production MPI decision logic).
+nbc::Schedule build_iallgather_recursive_doubling(int me, int n,
+                                                  const void* sbuf, void* rbuf,
+                                                  std::size_t block);
+
+[[nodiscard]] constexpr bool is_pow2(int n) noexcept {
+  return n > 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace nbctune::coll

@@ -1,0 +1,40 @@
+#pragma once
+
+// Non-blocking allreduce schedules.  The paper lists All-reduce among the
+// operations ADCL supports (§III-A); the classic algorithm menu:
+//
+//   recursive doubling   log2(P) rounds exchanging full vectors; the
+//                        small-message / power-of-two champion
+//   reduce+broadcast     binomial reduce to rank 0, binomial broadcast
+//                        back; simple, any P
+//   ring (Rabenseifner-  reduce-scatter by a P-step ring then allgather;
+//   style)               bandwidth-optimal for large vectors, any P
+//
+// `sbuf` holds `count` elements of `dtype`; `rbuf` receives the full
+// reduction on every rank.
+
+#include <cstddef>
+
+#include "mpi/types.hpp"
+#include "nbc/schedule.hpp"
+
+namespace nbctune::coll {
+
+/// Recursive doubling; requires power-of-two communicator size.
+nbc::Schedule build_iallreduce_recursive_doubling(int me, int n,
+                                                  const void* sbuf, void* rbuf,
+                                                  std::size_t count,
+                                                  nbc::DType dtype,
+                                                  mpi::ReduceOp op);
+
+/// Binomial reduce to rank 0 followed by binomial broadcast; any size.
+nbc::Schedule build_iallreduce_reduce_bcast(int me, int n, const void* sbuf,
+                                            void* rbuf, std::size_t count,
+                                            nbc::DType dtype, mpi::ReduceOp op);
+
+/// Ring reduce-scatter + ring allgather; any size, bandwidth-optimal.
+nbc::Schedule build_iallreduce_ring(int me, int n, const void* sbuf,
+                                    void* rbuf, std::size_t count,
+                                    nbc::DType dtype, mpi::ReduceOp op);
+
+}  // namespace nbctune::coll

@@ -1,0 +1,33 @@
+#pragma once
+
+// Non-blocking all-to-all schedules: the three algorithms of the paper's
+// Ialltoall function-set.
+//
+//   linear        one round, all (n-1) sends and receives posted at once;
+//                 minimal data volume, floods the NICs, but needs only a
+//                 single progress call once posted (NIC-driven networks)
+//   dissemination Bruck's algorithm: ceil(log2 n) rounds of aggregated
+//                 blocks; few messages (wins for small payloads) at the
+//                 cost of log2(n)/2 times the data volume (loses for big)
+//   pairwise      n-1 ordered exchange rounds; contention-free structured
+//                 traffic, but one round per progress invocation
+//
+// Buffers: sbuf/rbuf hold n consecutive blocks of `block` bytes; block i
+// of sbuf is destined for rank i, block i of rbuf receives from rank i.
+
+#include <cstddef>
+
+#include "nbc/schedule.hpp"
+
+namespace nbctune::coll {
+
+nbc::Schedule build_ialltoall_linear(int me, int n, const void* sbuf,
+                                     void* rbuf, std::size_t block);
+
+nbc::Schedule build_ialltoall_pairwise(int me, int n, const void* sbuf,
+                                       void* rbuf, std::size_t block);
+
+nbc::Schedule build_ialltoall_bruck(int me, int n, const void* sbuf,
+                                    void* rbuf, std::size_t block);
+
+}  // namespace nbctune::coll

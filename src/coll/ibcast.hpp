@@ -1,0 +1,37 @@
+#pragma once
+
+// Non-blocking broadcast schedules.
+//
+// The paper's Ibcast function-set is parameterized by two attributes:
+//   fan-out: 0 = linear (flat; root sends to everyone),
+//            1 = chain, 2..5 = k-ary tree, kFanoutBinomial = binomial tree
+//   segment size: the payload is pipelined through the tree in segments
+//                 (32/64/128 KB in the paper's default set).
+//
+// All shapes are produced by one builder over virtual ranks rooted at 0.
+
+#include <cstddef>
+#include <vector>
+
+#include "nbc/schedule.hpp"
+
+namespace nbctune::coll {
+
+/// Fan-out value denoting the binomial tree ("value of N" in the paper).
+inline constexpr int kFanoutBinomial = -1;
+/// Fan-out value denoting the flat/linear broadcast.
+inline constexpr int kFanoutLinear = 0;
+
+/// Children (virtual ranks) of virtual rank v in an n-process tree with
+/// the given fan-out; exposed for testing.
+std::vector<int> bcast_children(int v, int n, int fanout);
+/// Parent (virtual rank) of v, or -1 for the root.
+int bcast_parent(int v, int n, int fanout);
+
+/// Build the broadcast schedule for communicator rank `me` of `n`.
+/// `buf` holds `bytes` on every rank; root's data ends up everywhere.
+/// `seg_bytes` == 0 disables segmentation (single segment).
+nbc::Schedule build_ibcast(int me, int n, void* buf, std::size_t bytes,
+                           int root, int fanout, std::size_t seg_bytes);
+
+}  // namespace nbctune::coll

@@ -1,0 +1,64 @@
+#pragma once
+
+// Non-blocking Cartesian neighborhood (halo) exchange.
+//
+// ADCL's original application domain (paper §III-A lists "Cartesian
+// neighborhood communication" first among the supported operations):
+// every process sits in a d-dimensional process grid and exchanges a halo
+// block with each of its 2d face neighbours.  The classic implementation
+// choices differ in how the per-dimension traffic is ordered:
+//
+//   all-at-once        post all 2d sends/receives in one round; maximal
+//                      concurrency, maximal contention
+//   dimension-ordered  complete dimension 0's exchange before dimension 1
+//                      (the structure stencil codes use)
+//   even-odd           per dimension, even-coordinate ranks send first,
+//                      odd ranks receive first (contention-free pairing)
+//
+// Buffer layout: sbuf/rbuf hold 2*ndims consecutive blocks of `block`
+// bytes, ordered (dim0,low), (dim0,high), (dim1,low), (dim1,high), ...
+// Missing neighbours (non-periodic boundaries) skip their block.
+
+#include <cstddef>
+#include <vector>
+
+#include "nbc/schedule.hpp"
+
+namespace nbctune::coll {
+
+/// A Cartesian process grid.
+struct CartTopo {
+  std::vector<int> dims;
+  bool periodic = true;
+
+  [[nodiscard]] int ndims() const noexcept {
+    return static_cast<int>(dims.size());
+  }
+  [[nodiscard]] int size() const noexcept {
+    int n = 1;
+    for (int d : dims) n *= d;
+    return n;
+  }
+};
+
+/// Row-major coordinates of a rank in the grid.
+std::vector<int> cart_coords(const CartTopo& topo, int rank);
+/// Rank of coordinates (each must be in range).
+int cart_rank(const CartTopo& topo, const std::vector<int>& coords);
+/// Neighbour of `rank` displaced by `disp` (+1/-1) along `dim`, or -1 at
+/// a non-periodic boundary.
+int cart_neighbor(const CartTopo& topo, int rank, int dim, int disp);
+
+nbc::Schedule build_ineighbor_all_at_once(const CartTopo& topo, int me,
+                                          const void* sbuf, void* rbuf,
+                                          std::size_t block);
+
+nbc::Schedule build_ineighbor_dimension_ordered(const CartTopo& topo, int me,
+                                                const void* sbuf, void* rbuf,
+                                                std::size_t block);
+
+nbc::Schedule build_ineighbor_even_odd(const CartTopo& topo, int me,
+                                       const void* sbuf, void* rbuf,
+                                       std::size_t block);
+
+}  // namespace nbctune::coll

@@ -1,0 +1,29 @@
+#pragma once
+
+// Non-blocking reduce schedules: binomial tree and segmented chain.
+//
+// `sbuf` holds `count` elements of `dtype` on every rank; the root's
+// `rbuf` receives the elementwise reduction.  Non-root ranks may pass
+// rbuf == nullptr.
+
+#include <cstddef>
+
+#include "mpi/types.hpp"
+#include "nbc/schedule.hpp"
+
+namespace nbctune::coll {
+
+nbc::Schedule build_ireduce_binomial(int me, int n, const void* sbuf,
+                                     void* rbuf, std::size_t count,
+                                     nbc::DType dtype, mpi::ReduceOp op,
+                                     int root);
+
+/// Chain (pipeline) reduce with segmentation: rank r receives partial
+/// results from r+1, folds its own data, forwards to r-1 (virtual order
+/// rooted at `root`).  seg_elems == 0 disables segmentation.
+nbc::Schedule build_ireduce_chain(int me, int n, const void* sbuf, void* rbuf,
+                                  std::size_t count, nbc::DType dtype,
+                                  mpi::ReduceOp op, int root,
+                                  std::size_t seg_elems);
+
+}  // namespace nbctune::coll

@@ -1,0 +1,112 @@
+#include "fft/fft1d.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace nbctune::fft {
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+double fft_flops(std::size_t n) noexcept {
+  if (n < 2) return 0.0;
+  return 5.0 * static_cast<double>(n) * std::log2(static_cast<double>(n));
+}
+
+void fft_pow2(cplx* a, std::size_t n, bool inverse) {
+  if (!is_pow2(n)) throw std::invalid_argument("fft_pow2: n not a power of 2");
+  if (n <= 1) return;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  // Danielson-Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) a[i] *= inv;
+  }
+}
+
+namespace {
+
+/// Bluestein chirp-z: expresses a length-n DFT as a cyclic convolution of
+/// length m = next_pow2(2n - 1), evaluated with radix-2 FFTs.
+void fft_bluestein(cplx* a, std::size_t n, bool inverse) {
+  const double sign = inverse ? 1.0 : -1.0;
+  const std::size_t m = next_pow2(2 * n - 1);
+  std::vector<cplx> u(m), v(m), chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // exp(sign * i * pi * k^2 / n); k^2 mod 2n keeps the angle exact.
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double ang =
+        sign * std::numbers::pi * static_cast<double>(k2) /
+        static_cast<double>(n);
+    chirp[k] = cplx(std::cos(ang), std::sin(ang));
+  }
+  for (std::size_t k = 0; k < n; ++k) u[k] = a[k] * chirp[k];
+  v[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    v[k] = v[m - k] = std::conj(chirp[k]);
+  }
+  fft_pow2(u.data(), m, false);
+  fft_pow2(v.data(), m, false);
+  for (std::size_t i = 0; i < m; ++i) u[i] *= v[i];
+  fft_pow2(u.data(), m, true);
+  for (std::size_t k = 0; k < n; ++k) a[k] = u[k] * chirp[k];
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (std::size_t k = 0; k < n; ++k) a[k] *= inv;
+  }
+}
+
+}  // namespace
+
+void fft(cplx* data, std::size_t n, bool inverse) {
+  if (n <= 1) return;
+  if (is_pow2(n)) {
+    fft_pow2(data, n, inverse);
+  } else {
+    fft_bluestein(data, n, inverse);
+  }
+}
+
+std::vector<cplx> dft_reference(const cplx* data, std::size_t n,
+                                bool inverse) {
+  std::vector<cplx> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc(0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * std::numbers::pi *
+                         static_cast<double>(j * k % n) /
+                         static_cast<double>(n);
+      acc += data[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+}  // namespace nbctune::fft

@@ -1,0 +1,36 @@
+#pragma once
+
+// Serial complex FFT: iterative radix-2 for powers of two, Bluestein's
+// chirp-z algorithm for arbitrary lengths.  Used by the distributed 3-D
+// kernel in real-math mode and by the tests as a verified building block.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace nbctune::fft {
+
+using cplx = std::complex<double>;
+
+/// In-place FFT of length n (any n >= 1).  inverse=true applies the
+/// unscaled-input inverse transform including the 1/n normalization.
+void fft(cplx* data, std::size_t n, bool inverse = false);
+
+/// In-place radix-2 FFT; n must be a power of two.
+void fft_pow2(cplx* data, std::size_t n, bool inverse = false);
+
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n.
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
+
+/// O(n^2) reference DFT (tests and documentation of the convention).
+std::vector<cplx> dft_reference(const cplx* data, std::size_t n,
+                                bool inverse = false);
+
+/// Standard FFT cost model: ~5 n log2(n) floating-point operations.
+[[nodiscard]] double fft_flops(std::size_t n) noexcept;
+
+}  // namespace nbctune::fft

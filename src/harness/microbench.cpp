@@ -1,0 +1,154 @@
+#include "harness/microbench.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mpi/world.hpp"
+#include "net/machine.hpp"
+#include "sim/engine.hpp"
+
+namespace nbctune::harness {
+
+const char* op_name(OpKind k) noexcept {
+  return k == OpKind::Ialltoall ? "ialltoall" : "ibcast";
+}
+
+std::shared_ptr<const adcl::FunctionSet> scenario_functionset(
+    const MicroScenario& s) {
+  if (s.op == OpKind::Ialltoall) {
+    return adcl::make_ialltoall_functionset(s.include_blocking);
+  }
+  return adcl::make_ibcast_functionset();
+}
+
+namespace {
+
+/// Executes the loop on every rank; returns the filled outcome (rank 0's
+/// view, which all ranks agree on).
+RunOutcome run_loop(const MicroScenario& s,
+                    const adcl::TuningOptions& tuning, int pinned) {
+  RunOutcome out;
+  sim::Engine engine(s.seed);
+  net::Machine machine(s.platform);
+  mpi::WorldOptions wopts;
+  wopts.nprocs = s.nprocs;
+  wopts.seed = s.seed;
+  wopts.noise_scale = s.noise_scale;
+  mpi::World world(engine, machine, wopts);
+
+  world.launch([&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    const int n = comm.size();
+    // Buffers: allocated only when payload moves; sized for the operation.
+    std::vector<std::byte> sbuf, rbuf;
+    const void* sp = nullptr;
+    void* rp = nullptr;
+    if (s.payload) {
+      if (s.op == OpKind::Ialltoall) {
+        sbuf.resize(std::size_t(n) * s.bytes);
+        rbuf.resize(std::size_t(n) * s.bytes);
+      } else {
+        rbuf.resize(s.bytes);
+      }
+      sp = sbuf.data();
+      rp = rbuf.data();
+    }
+
+    std::unique_ptr<adcl::Request> req;
+    if (s.op == OpKind::Ialltoall) {
+      req = adcl::ialltoall_init(ctx, comm, sp, rp, s.bytes, tuning, nullptr,
+                                 s.include_blocking);
+    } else {
+      req = adcl::ibcast_init(ctx, comm, rp, s.bytes, /*root=*/0, tuning);
+    }
+    if (pinned >= 0) req->selection().force_winner(pinned);
+
+    adcl::Timer timer(ctx, {req.get()});
+    const double t0 = ctx.now();
+    double decision_t = std::numeric_limits<double>::quiet_NaN();
+    int post_iters = 0;
+    for (int it = 0; it < s.iterations; ++it) {
+      const bool decided_before = req->selection().decided();
+      timer.start();
+      req->init();
+      const int pc = std::max(1, s.progress_calls);
+      for (int p = 0; p < pc; ++p) {
+        ctx.compute(s.compute_per_iter / pc);
+        if (s.progress_calls > 0) req->progress();
+      }
+      req->wait();
+      timer.stop();
+      if (decided_before) ++post_iters;
+    }
+    const double t_end = ctx.now();
+    if (req->selection().decided()) {
+      decision_t = req->selection().decision_time();
+    }
+    if (ctx.world_rank() == 0) {
+      out.loop_time = t_end - t0;
+      out.impl = req->selection().decided() ? req->current_function().name
+                                            : "<undecided>";
+      out.decision_iteration = req->selection().decision_iteration();
+      out.decision_time = decision_t;
+      out.post_decision_iterations = post_iters;
+      out.post_decision_time =
+          std::isnan(decision_t) ? 0.0 : t_end - std::max(decision_t, t0);
+    }
+  });
+  engine.run();
+  return out;
+}
+
+}  // namespace
+
+RunOutcome run_fixed(const MicroScenario& s, int func_idx) {
+  auto fset = scenario_functionset(s);
+  if (func_idx < 0 || func_idx >= static_cast<int>(fset->size())) {
+    throw std::invalid_argument("run_fixed: bad function index");
+  }
+  adcl::TuningOptions tuning;  // irrelevant: selection is forced
+  RunOutcome out = run_loop(s, tuning, func_idx);
+  out.impl = fset->function(func_idx).name;
+  out.post_decision_time = out.loop_time;
+  out.post_decision_iterations = s.iterations;
+  return out;
+}
+
+RunOutcome run_adcl(const MicroScenario& s, adcl::TuningOptions opts) {
+  return run_loop(s, opts, -1);
+}
+
+VerificationRun run_verification(const MicroScenario& s,
+                                 int tests_per_function) {
+  VerificationRun v;
+  auto fset = scenario_functionset(s);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t f = 0; f < fset->size(); ++f) {
+    v.fixed.push_back(run_fixed(s, static_cast<int>(f)));
+    if (v.fixed.back().loop_time < best) {
+      best = v.fixed.back().loop_time;
+      v.best_fixed = static_cast<int>(f);
+    }
+  }
+  adcl::TuningOptions bf;
+  bf.policy = adcl::PolicyKind::BruteForce;
+  bf.tests_per_function = tests_per_function;
+  v.adcl_bruteforce = run_adcl(s, bf);
+  adcl::TuningOptions heur = bf;
+  heur.policy = adcl::PolicyKind::AttributeHeuristic;
+  v.adcl_heuristic = run_adcl(s, heur);
+
+  // "Correct" (paper §IV-A): the chosen implementation's fixed-run time is
+  // within 5% of the best fixed implementation.
+  auto correct = [&](const RunOutcome& o) {
+    for (const RunOutcome& f : v.fixed) {
+      if (f.impl == o.impl) return f.loop_time <= best * (1 + kCorrectTolerance);
+    }
+    return false;
+  };
+  v.bruteforce_correct = correct(v.adcl_bruteforce);
+  v.heuristic_correct = correct(v.adcl_heuristic);
+  return v;
+}
+
+}  // namespace nbctune::harness

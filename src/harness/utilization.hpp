@@ -1,0 +1,43 @@
+#pragma once
+
+// Post-run utilization reporting: how busy each simulated NIC and memory
+// port was during an experiment.  Useful for diagnosing *why* an
+// algorithm lost (e.g. a linear all-to-all saturating one node's receive
+// engine while the rest of the fabric idles).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mpi/world.hpp"
+#include "net/machine.hpp"
+
+namespace nbctune::harness {
+
+struct ResourceUsage {
+  std::string name;        ///< e.g. "tx:3:0", "mem:1"
+  double busy_seconds = 0;
+  double busy_fraction = 0;  ///< busy / elapsed
+  std::uint64_t reservations = 0;
+};
+
+struct UtilizationReport {
+  double elapsed = 0;
+  std::vector<ResourceUsage> resources;  ///< sorted by busy_fraction, desc
+  std::uint64_t data_messages = 0;
+  std::uint64_t ctrl_messages = 0;
+
+  /// The busiest resource (empty name if none were used).
+  [[nodiscard]] const ResourceUsage* hottest() const {
+    return resources.empty() ? nullptr : &resources.front();
+  }
+};
+
+/// Snapshot machine resource usage over `elapsed` simulated seconds.
+UtilizationReport utilization_report(mpi::World& world, double elapsed);
+
+/// Render the top `top_n` resources as an aligned table.
+void print_utilization(const UtilizationReport& report, int top_n = 8,
+                       std::ostream& os = std::cout);
+
+}  // namespace nbctune::harness

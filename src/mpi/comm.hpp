@@ -1,0 +1,50 @@
+#pragma once
+
+// Communicators: ordered groups of world ranks with an isolated tag space
+// (context id), in the spirit of MPI communicators.
+
+#include <memory>
+#include <vector>
+
+namespace nbctune::mpi {
+
+class World;
+
+/// Immutable communicator data shared by all member handles.
+struct CommData {
+  int context = 0;
+  std::vector<int> members;  ///< world rank of each communicator rank
+  int split_epoch = 0;       ///< per-comm counter for deterministic child ids
+};
+
+/// Lightweight communicator handle (copyable; references world-owned data).
+class Comm {
+ public:
+  Comm() = default;
+  Comm(World* world, std::shared_ptr<const CommData> data)
+      : world_(world), data_(std::move(data)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return data_ != nullptr; }
+  [[nodiscard]] int size() const { return static_cast<int>(data_->members.size()); }
+  [[nodiscard]] int context() const { return data_->context; }
+
+  /// World rank of communicator rank r.
+  [[nodiscard]] int world_rank(int r) const { return data_->members.at(r); }
+
+  /// Communicator rank of a world rank, or -1 if not a member.
+  [[nodiscard]] int rank_of_world(int wrank) const {
+    for (std::size_t i = 0; i < data_->members.size(); ++i) {
+      if (data_->members[i] == wrank) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  [[nodiscard]] World* world() const noexcept { return world_; }
+  [[nodiscard]] const CommData& data() const { return *data_; }
+
+ private:
+  World* world_ = nullptr;
+  std::shared_ptr<const CommData> data_;
+};
+
+}  // namespace nbctune::mpi

@@ -1,0 +1,142 @@
+#pragma once
+
+// Internal request objects and the per-rank request pool.
+//
+// Requests track the state machine of one non-blocking point-to-point
+// operation.  They live in a per-rank arena; handles (mpi::Req) carry an
+// index plus generation so stale handles are detected after slot reuse.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "mpi/types.hpp"
+
+namespace nbctune::mpi {
+
+enum class ReqKind : std::uint8_t { Send, Recv };
+
+enum class ReqState : std::uint8_t {
+  // --- send side ---
+  EagerInFlight,  ///< payload handed to NIC; local completion event pending
+  RtsSent,        ///< rendezvous handshake started, waiting for CTS
+  BulkReady,      ///< CTS received; bulk transfer not yet started
+  BulkNic,        ///< NIC-driven bulk in flight; completion event pending
+  BulkCpu,        ///< CPU-driven bulk; chunks pushed from the progress engine
+  // --- receive side ---
+  Posted,         ///< waiting for a matching envelope
+  WaitBulk,       ///< matched an RTS, CTS sent, bulk data pending
+  // --- both ---
+  Complete,       ///< done; waiting to be observed by test/wait
+};
+
+/// One pending operation (internal; see mpi::Req for the public handle).
+struct Request {
+  std::uint32_t generation = 0;  // even = free, odd = live
+  ReqKind kind = ReqKind::Send;
+  ReqState state = ReqState::Complete;
+  bool complete = false;
+  bool chunk_in_flight = false;  // CPU-driven bulk: a push is on the wire
+
+  int peer = kAnySource;  ///< world rank of the peer (resolved for sends)
+  int context = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+  std::size_t cursor = 0;  ///< bytes pushed so far (CPU-driven bulk)
+
+  const void* send_buf = nullptr;
+  void* recv_buf = nullptr;
+
+  std::uint64_t post_seq = 0;  ///< matching order among posted receives
+
+  /// For rendezvous: identifies this request to the peer (packed handle).
+  std::uint64_t match_id = 0;
+  /// For senders: the receiver-side request the bulk completes (from CTS).
+  std::uint64_t peer_match_id = 0;
+
+  Status status;  ///< filled on receive completion
+};
+
+/// Per-rank arena of requests with free-list reuse and generation counting.
+/// Storage is chunked (256-request blocks): addresses stay stable across
+/// growth (hot paths cache Request*) with vector-like locality.
+class RequestPool {
+ public:
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  /// Allocate a live request; the returned handle's generation is odd.
+  Req allocate() {
+    std::uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+    } else {
+      idx = size_++;
+      if ((idx >> kChunkShift) >= chunks_.size()) {
+        chunks_.push_back(std::make_unique<Request[]>(kChunkSize));
+      }
+    }
+    Request& r = slot(idx);
+    r = Request{};
+    r.generation = next_gen_;
+    next_gen_ += 2;  // keep parity stable; 0 is reserved for "null"
+    return Req{idx, r.generation};
+  }
+
+  /// Release an observed request back to the pool.
+  void release(Req h) {
+    Request& r = get(h);
+    r.generation = 0;
+    free_.push_back(h.index);
+  }
+
+  /// Dereference a handle; throws on stale or null handles.
+  Request& get(Req h) {
+    if (h.generation == 0 || h.index >= size_) {
+      throw std::out_of_range("stale or null request handle");
+    }
+    Request& r = slot(h.index);
+    if (r.generation != h.generation) {
+      throw std::out_of_range("stale or null request handle");
+    }
+    return r;
+  }
+
+  /// True if the handle still refers to a live request.
+  [[nodiscard]] bool live(Req h) const noexcept {
+    return h.generation != 0 && h.index < size_ &&
+           slot(h.index).generation == h.generation;
+  }
+
+  /// Direct access by index (transport events); caller checks generation.
+  Request& at(std::uint32_t idx) {
+    if (idx >= size_) throw std::out_of_range("request index out of range");
+    return slot(idx);
+  }
+
+  /// Stable pointer for a live handle (chunked storage: growth never
+  /// relocates).  Hot paths cache this to avoid repeated checked lookups.
+  Request* ptr(Req h) { return &get(h); }
+
+  [[nodiscard]] std::size_t live_count() const noexcept {
+    return size_ - free_.size();
+  }
+
+ private:
+  Request& slot(std::uint32_t idx) noexcept {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+  const Request& slot(std::uint32_t idx) const noexcept {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+
+  std::vector<std::unique_ptr<Request[]>> chunks_;
+  std::uint32_t size_ = 0;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t next_gen_ = 1;
+};
+
+}  // namespace nbctune::mpi

@@ -1,0 +1,736 @@
+#include "mpi/world.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace nbctune::mpi {
+
+using detail::Envelope;
+using detail::MatchKey;
+using detail::RankState;
+
+namespace {
+/// Bytes a control message (RTS/CTS) occupies on the wire.
+constexpr std::size_t kCtrlBytes = 64;
+
+std::uint32_t match_index(std::uint64_t m) noexcept {
+  return static_cast<std::uint32_t>(m >> 32);
+}
+std::uint32_t match_gen(std::uint64_t m) noexcept {
+  return static_cast<std::uint32_t>(m);
+}
+}  // namespace
+
+std::uint64_t pack_match(Req h) noexcept {
+  return (static_cast<std::uint64_t>(h.index) << 32) | h.generation;
+}
+
+// ------------------------------------------------------------------ World
+
+World::World(sim::Engine& engine, net::Machine& machine, WorldOptions options)
+    : engine_(engine), machine_(machine), options_(options) {
+  if (options_.nprocs < 1) throw std::invalid_argument("World: nprocs < 1");
+  const auto& p = machine_.platform();
+  if (options_.placement == WorldOptions::Placement::Block &&
+      options_.nprocs > p.total_cores()) {
+    throw std::invalid_argument("World: more ranks than cores on " + p.name);
+  }
+  ranks_.reserve(options_.nprocs);
+  for (int r = 0; r < options_.nprocs; ++r) {
+    ranks_.push_back(std::make_unique<RankState>());
+    ranks_.back()->node = node_of(r);
+  }
+  auto data = std::make_shared<CommData>();
+  data->context = 0;
+  data->members.resize(options_.nprocs);
+  for (int r = 0; r < options_.nprocs; ++r) data->members[r] = r;
+  world_comm_data_ = data;
+  world_comm_ = Comm(this, world_comm_data_);
+}
+
+World::~World() = default;
+
+int World::node_of(int wrank) const {
+  const auto& p = machine_.platform();
+  if (options_.placement == WorldOptions::Placement::RoundRobin) {
+    return wrank % p.nodes;
+  }
+  return wrank / p.cores_per_node;
+}
+
+void World::launch(std::function<void(Ctx&)> program) {
+  for (int r = 0; r < options_.nprocs; ++r) {
+    ctxs_.push_back(std::make_unique<Ctx>(*this, r));
+    Ctx* ctx = ctxs_.back().get();
+    RankState& rs = *ranks_[r];
+    rs.ctx = ctx;
+    sim::Process& p = engine_.add_process(
+        "rank" + std::to_string(r),
+        [ctx, program](sim::Process&) { program(*ctx); },
+        options_.fiber_stack_bytes);
+    rs.process = &p;
+  }
+}
+
+int World::alloc_context(int parent_context, int epoch, int color) {
+  auto key = std::make_tuple(parent_context, epoch, color);
+  auto [it, inserted] = context_registry_.try_emplace(key, next_context_);
+  if (inserted) ++next_context_;
+  return it->second;
+}
+
+double World::jitter(double cost) {
+  const double sigma =
+      machine_.platform().noise.rel_sigma * options_.noise_scale;
+  if (sigma <= 0.0 || cost <= 0.0) return cost;
+  const double f = 1.0 + sigma * engine_.rng().normal();
+  return cost * std::max(0.0, f);
+}
+
+std::uint64_t World::total_data_msgs() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& r : ranks_) n += r->data_msgs;
+  return n;
+}
+std::uint64_t World::total_ctrl_msgs() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& r : ranks_) n += r->ctrl_msgs;
+  return n;
+}
+
+void World::notify(int wrank) { ranks_[wrank]->process->wake(); }
+
+sim::Time World::ship(Envelope env, sim::Time earliest) {
+  RankState& src = *ranks_[env.src];
+  const int src_node = src.node;
+  const int dst_node = ranks_[env.dst]->node;
+  const auto& p = machine_.platform();
+  const std::size_t wire_bytes =
+      env.kind == Envelope::Kind::Eager ? env.bytes : kCtrlBytes;
+  if (env.kind == Envelope::Kind::Eager) {
+    ++src.data_msgs;
+  } else {
+    ++src.ctrl_msgs;
+  }
+
+  // Only payload-bearing messages count towards receive-side congestion;
+  // tiny RTS/CTS control messages do not meaningfully load a receiver.
+  const bool data = env.kind == Envelope::Kind::Eager;
+  if (data) machine_.add_inflight(dst_node);
+
+  sim::Time local_done;
+  sim::Time arrival;
+  if (src_node == dst_node) {
+    // Shared memory: serialize on the node's memory port; flooding the
+    // port from many concurrent flows thrashes it (congestion factor).
+    const double factor = machine_.congestion_factor(dst_node, /*intra=*/true);
+    auto slot = machine_.mem(src_node).reserve(
+        earliest,
+        static_cast<double>(wire_bytes) * p.mem_byte_time * factor +
+            p.intra.msg_gap);
+    local_done = slot.end;
+    arrival = slot.end + p.intra.latency;
+  } else {
+    const int nic = machine_.nic_for(src_node, dst_node);
+    const int rnic = machine_.nic_for(dst_node, src_node);
+    const double tx_time =
+        static_cast<double>(wire_bytes) * p.inter.byte_time + p.inter.msg_gap;
+    auto tx = machine_.nic_tx(src_node, nic).reserve(earliest, tx_time);
+    const double lat = machine_.latency(src_node, dst_node);
+    // Receive side pays a per-message gap too (NIC message-rate limit)
+    // and slows down under incast (congestion factor).
+    const double factor = machine_.congestion_factor(dst_node, /*intra=*/false);
+    auto rx = machine_.nic_rx(dst_node, rnic).reserve(
+        tx.start + lat,
+        (static_cast<double>(wire_bytes) * p.inter.byte_time +
+         p.inter.msg_gap) *
+            factor);
+    local_done = tx.end;
+    arrival = rx.end;
+  }
+  auto boxed = std::make_shared<Envelope>(std::move(env));
+  engine_.schedule_at(arrival, [this, boxed, data, dst_node] {
+    if (data) machine_.remove_inflight(dst_node);
+    deliver(std::move(*boxed));
+  });
+  return local_done;
+}
+
+void World::deliver(Envelope env) {
+  const int dst_rank = env.dst;
+  RankState& dst = *ranks_[dst_rank];
+  env.arrival_seq = dst.next_arrival_seq++;
+  dst.inbound.push_back(std::move(env));
+  notify(dst_rank);
+}
+
+void World::start_nic_bulk(int src, int dst, Req sreq, std::uint64_t dst_match,
+                           std::size_t bytes, const void* sbuf,
+                           sim::Time earliest) {
+  const auto& p = machine_.platform();
+  RankState& srs = *ranks_[src];
+  const int src_node = srs.node;
+  const int dst_node = ranks_[dst]->node;
+  ++srs.data_msgs;
+  machine_.add_inflight(dst_node);
+  sim::Time send_done, recv_done;
+  if (src_node == dst_node) {
+    // Should not happen: intra-node rendezvous uses the CPU-copy path.
+    const double factor = machine_.congestion_factor(dst_node, /*intra=*/true);
+    auto slot = machine_.mem(src_node).reserve(
+        earliest, static_cast<double>(bytes) * p.mem_byte_time * factor);
+    send_done = slot.end;
+    recv_done = slot.end + p.intra.latency;
+  } else {
+    const int nic = machine_.nic_for(src_node, dst_node);
+    const int rnic = machine_.nic_for(dst_node, src_node);
+    auto tx = machine_.nic_tx(src_node, nic).reserve(
+        earliest,
+        static_cast<double>(bytes) * p.inter.byte_time + p.inter.msg_gap);
+    const double lat = machine_.latency(src_node, dst_node);
+    const double factor = machine_.congestion_factor(dst_node, /*intra=*/false);
+    auto rx = machine_.nic_rx(dst_node, rnic).reserve(
+        tx.start + lat,
+        (static_cast<double>(bytes) * p.inter.byte_time + p.inter.msg_gap) *
+            factor);
+    send_done = tx.end;
+    recv_done = rx.end;
+  }
+  // Both ends complete when the data has landed: delivering first and
+  // completing the sender in the same event guarantees the sender cannot
+  // reuse (or free) its buffer before the delivery copy reads it.  The
+  // sender is charged one extra wire latency versus true local completion
+  // at `send_done` — negligible against the bulk transfer itself.
+  (void)send_done;
+  engine_.schedule_at(recv_done, [this, src, sreq, dst, dst_match, sbuf,
+                                  dst_node] {
+    machine_.remove_inflight(dst_node);
+    complete_request(dst, dst_match, sbuf);
+    RankState& rs = *ranks_[src];
+    if (!rs.pool.live(sreq)) return;
+    Request& r = rs.pool.get(sreq);
+    r.complete = true;
+    r.state = ReqState::Complete;
+    notify(src);
+  });
+}
+
+void World::complete_request(int wrank, std::uint64_t match_id,
+                             const void* deliver_from) {
+  RankState& rs = *ranks_[wrank];
+  Request& r = rs.pool.at(match_index(match_id));
+  if (r.generation != match_gen(match_id)) return;  // cancelled/stale
+  if (deliver_from != nullptr && r.recv_buf != nullptr) {
+    std::memcpy(r.recv_buf, deliver_from, r.bytes);
+  }
+  r.complete = true;
+  r.state = ReqState::Complete;
+  notify(wrank);
+}
+
+// -------------------------------------------------------------------- Ctx
+
+Ctx::Ctx(World& world, int wrank) : world_(world), wrank_(wrank) {}
+
+void Ctx::charge(double seconds) {
+  if (seconds <= 0.0) return;
+  st().process->sleep(world_.jitter(seconds));
+}
+
+void Ctx::compute(double seconds) {
+  if (seconds < 0.0) throw std::invalid_argument("compute: negative time");
+  if (seconds == 0.0) return;
+  double t = world_.jitter(seconds);
+  const auto& noise = world_.platform().noise;
+  const double scale = world_.options().noise_scale;
+  if (noise.outlier_prob * scale > 0.0 &&
+      world_.engine().rng().uniform() < noise.outlier_prob * scale) {
+    t *= noise.outlier_factor;
+  }
+  st().process->sleep(t);
+}
+
+void Ctx::progress() { progress_pass(true); }
+
+void Ctx::register_client(ProgressClient* c) { st().clients.push_back(c); }
+
+void Ctx::unregister_client(ProgressClient* c) {
+  auto& v = st().clients;
+  v.erase(std::remove(v.begin(), v.end(), c), v.end());
+}
+
+double Ctx::bulk_chunk_cost(std::size_t chunk) const {
+  const auto& p = world_.platform();
+  return static_cast<double>(chunk) * p.copy_byte_time + p.ctrl_overhead;
+}
+
+// ---- posting ----
+
+Req Ctx::post_isend(const Comm& comm, const void* buf, std::size_t bytes,
+                    int dst, int tag, double& cpu_cost,
+                    double earliest_offset) {
+  if (dst < 0 || dst >= comm.size()) {
+    throw std::invalid_argument("post_isend: bad destination rank");
+  }
+  const int dst_w = comm.world_rank(dst);
+  const auto& p = world_.platform();
+  RankState& rs = st();
+
+  Req h = rs.pool.allocate();
+  Request& r = rs.pool.get(h);
+  r.kind = ReqKind::Send;
+  r.peer = dst_w;
+  r.context = comm.context();
+  r.tag = tag;
+  r.bytes = bytes;
+  r.send_buf = buf;
+  ++rs.outstanding;
+
+  const bool eager = bytes <= p.eager_limit;
+  const bool same_node = rs.node == world_.ranks_[dst_w]->node;
+
+  Envelope env;
+  env.src = wrank_;
+  env.dst = dst_w;
+  env.context = comm.context();
+  env.tag = tag;
+  env.bytes = bytes;
+
+  if (eager) {
+    // Eager: CPU prepares (overhead + bounce-buffer copy), NIC does the rest.
+    const double my_prep =
+        (same_node ? p.intra.send_overhead : p.inter.send_overhead) +
+        static_cast<double>(bytes) * p.copy_byte_time;
+    env.kind = Envelope::Kind::Eager;
+    if (buf != nullptr && bytes > 0) {
+      env.payload.resize(bytes);
+      std::memcpy(env.payload.data(), buf, bytes);
+    }
+    const sim::Time start = now() + earliest_offset + my_prep;
+    const sim::Time local_done = world_.ship(std::move(env), start);
+    cpu_cost += my_prep;
+    if (same_node) {
+      // Payload copied out of the user buffer already: locally complete.
+      r.complete = true;
+      r.state = ReqState::Complete;
+    } else {
+      r.state = ReqState::EagerInFlight;
+      const int self = wrank_;
+      world_.engine().schedule_at(local_done, [w = &world_, self, h] {
+        RankState& s = *w->ranks_[self];
+        if (!s.pool.live(h)) return;
+        Request& rr = s.pool.get(h);
+        rr.complete = true;
+        rr.state = ReqState::Complete;
+        w->notify(self);
+      });
+    }
+  } else {
+    // Rendezvous: emit RTS; everything else happens in progress passes.
+    const double my_prep =
+        (same_node ? p.intra.send_overhead : p.inter.send_overhead) +
+        p.ctrl_overhead;
+    env.kind = Envelope::Kind::Rts;
+    env.match_id = pack_match(h);
+    env.send_buf = buf;
+    world_.ship(std::move(env), now() + earliest_offset + my_prep);
+    cpu_cost += my_prep;
+    r.state = ReqState::RtsSent;
+  }
+  return h;
+}
+
+Req Ctx::post_irecv(const Comm& comm, void* buf, std::size_t bytes, int src,
+                    int tag, double& cpu_cost) {
+  RankState& rs = st();
+  const int src_w =
+      src == kAnySource ? kAnySource
+                        : (src >= 0 && src < comm.size()
+                               ? comm.world_rank(src)
+                               : throw std::invalid_argument(
+                                     "post_irecv: bad source rank"));
+  Req h = rs.pool.allocate();
+  Request& r = rs.pool.get(h);
+  r.kind = ReqKind::Recv;
+  r.peer = src_w;
+  r.context = comm.context();
+  r.tag = tag;
+  r.bytes = bytes;
+  r.recv_buf = buf;
+  r.post_seq = rs.next_post_seq++;
+  r.state = ReqState::Posted;
+  ++rs.outstanding;
+  cpu_cost += world_.platform().per_req_poll_cost;
+
+  if (try_match_unexpected(h, cpu_cost)) return h;
+
+  if (src_w == kAnySource || tag == kAnyTag) {
+    rs.wildcard_posted.push_back(h);
+  } else {
+    rs.exact_posted[MatchKey{comm.context(), tag, src_w}].push_back(h);
+  }
+  return h;
+}
+
+bool Ctx::try_match_unexpected(Req rh, double& cpu_cost) {
+  RankState& rs = st();
+  Request& r = rs.pool.get(rh);
+  Envelope env;
+  if (r.peer != kAnySource && r.tag != kAnyTag) {
+    auto it = rs.unexpected.find(MatchKey{r.context, r.tag, r.peer});
+    if (it == rs.unexpected.end() || it->second.empty()) return false;
+    env = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) rs.unexpected.erase(it);
+  } else {
+    // Wildcard: earliest arrival among all matching queues.
+    std::map<MatchKey, std::deque<Envelope>>::iterator best =
+        rs.unexpected.end();
+    for (auto it = rs.unexpected.begin(); it != rs.unexpected.end(); ++it) {
+      const MatchKey& k = it->first;
+      if (k.context != r.context) continue;
+      if (r.tag != kAnyTag && k.tag != r.tag) continue;
+      if (r.peer != kAnySource && k.src != r.peer) continue;
+      if (it->second.empty()) continue;
+      if (best == rs.unexpected.end() ||
+          it->second.front().arrival_seq < best->second.front().arrival_seq) {
+        best = it;
+      }
+    }
+    if (best == rs.unexpected.end()) return false;
+    env = std::move(best->second.front());
+    best->second.pop_front();
+    if (best->second.empty()) rs.unexpected.erase(best);
+  }
+
+  if (env.bytes > r.bytes) {
+    throw std::length_error("recv buffer smaller than incoming message");
+  }
+  if (env.kind == Envelope::Kind::Eager) {
+    const auto& p = world_.platform();
+    cpu_cost += (rs.node == world_.ranks_[env.src]->node
+                     ? p.intra.recv_overhead
+                     : p.inter.recv_overhead) +
+                static_cast<double>(env.bytes) * p.copy_byte_time;
+    if (r.recv_buf != nullptr && !env.payload.empty()) {
+      std::memcpy(r.recv_buf, env.payload.data(), env.payload.size());
+    }
+    r.peer = env.src;
+    r.status = Status{env.src, env.tag, env.bytes};
+    r.complete = true;
+    r.state = ReqState::Complete;
+  } else {
+    assert(env.kind == Envelope::Kind::Rts);
+    send_cts(env, rh, cpu_cost);
+  }
+  return true;
+}
+
+void Ctx::send_cts(const Envelope& rts, Req rh, double& cpu_cost) {
+  RankState& rs = st();
+  Request& r = rs.pool.get(rh);
+  const auto& p = world_.platform();
+  cpu_cost += p.ctrl_overhead +
+              (rs.node == world_.ranks_[rts.src]->node ? p.intra.recv_overhead
+                                                       : p.inter.recv_overhead);
+  r.peer = rts.src;
+  r.bytes = rts.bytes;  // actual message size (<= posted buffer size)
+  r.status = Status{rts.src, rts.tag, rts.bytes};
+  r.state = ReqState::WaitBulk;
+
+  Envelope cts;
+  cts.kind = Envelope::Kind::Cts;
+  cts.src = wrank_;
+  cts.dst = rts.src;
+  cts.context = rts.context;
+  cts.tag = rts.tag;
+  cts.bytes = rts.bytes;
+  cts.match_id = rts.match_id;        // sender request
+  cts.peer_match_id = pack_match(rh); // this (receiver) request
+  world_.ship(std::move(cts), now() + cpu_cost);
+}
+
+void Ctx::handle_envelope(Envelope& env, double& cpu_cost) {
+  RankState& rs = st();
+  if (env.kind == Envelope::Kind::Cts) {
+    // Route to the sending request.
+    Request& r = rs.pool.at(match_index(env.match_id));
+    if (r.generation != match_gen(env.match_id)) return;
+    assert(r.state == ReqState::RtsSent);
+    r.peer_match_id = env.peer_match_id;
+    const auto& p = world_.platform();
+    cpu_cost += p.ctrl_overhead;
+    const bool same_node = rs.node == world_.ranks_[env.src]->node;
+    const bool cpu_driven = p.cpu_driven_bulk || same_node;
+    if (cpu_driven) {
+      // Bulk pushed by this CPU in chunks from subsequent progress passes.
+      r.state = ReqState::BulkCpu;
+      Req h{match_index(env.match_id), match_gen(env.match_id)};
+      rs.cpu_bulk_sends.push_back(h);
+    } else {
+      r.state = ReqState::BulkNic;
+      Req h{match_index(env.match_id), match_gen(env.match_id)};
+      world_.start_nic_bulk(wrank_, env.src, h, env.peer_match_id, r.bytes,
+                            r.send_buf, now() + cpu_cost);
+    }
+    return;
+  }
+
+  // Eager data or RTS: match against posted receives.
+  Req matched{};
+  bool have = false;
+  auto exact_it = rs.exact_posted.find(MatchKey{env.context, env.tag, env.src});
+  std::uint64_t exact_seq = UINT64_MAX;
+  if (exact_it != rs.exact_posted.end() && !exact_it->second.empty()) {
+    exact_seq = rs.pool.get(exact_it->second.front()).post_seq;
+  }
+  std::size_t wild_pos = SIZE_MAX;
+  std::uint64_t wild_seq = UINT64_MAX;
+  for (std::size_t i = 0; i < rs.wildcard_posted.size(); ++i) {
+    Request& r = rs.pool.get(rs.wildcard_posted[i]);
+    if (r.context != env.context) continue;
+    if (r.tag != kAnyTag && r.tag != env.tag) continue;
+    if (r.peer != kAnySource && r.peer != env.src) continue;
+    wild_pos = i;
+    wild_seq = r.post_seq;
+    break;  // wildcard_posted is in posting order
+  }
+  if (exact_seq != UINT64_MAX && exact_seq <= wild_seq) {
+    matched = exact_it->second.front();
+    exact_it->second.pop_front();
+    if (exact_it->second.empty()) rs.exact_posted.erase(exact_it);
+    have = true;
+  } else if (wild_pos != SIZE_MAX) {
+    matched = rs.wildcard_posted[wild_pos];
+    rs.wildcard_posted.erase(rs.wildcard_posted.begin() +
+                             static_cast<std::ptrdiff_t>(wild_pos));
+    have = true;
+  }
+
+  if (!have) {
+    rs.unexpected[MatchKey{env.context, env.tag, env.src}].push_back(
+        std::move(env));
+    return;
+  }
+
+  Request& r = rs.pool.get(matched);
+  if (env.bytes > r.bytes) {
+    throw std::length_error(
+        "recv buffer smaller than incoming message (dst=" +
+        std::to_string(wrank_) + " src=" + std::to_string(env.src) +
+        " tag=" + std::to_string(env.tag) + " ctx=" +
+        std::to_string(env.context) + " kind=" +
+        std::to_string(int(env.kind)) + " env.bytes=" +
+        std::to_string(env.bytes) + " posted.bytes=" +
+        std::to_string(r.bytes) + ")");
+  }
+  if (env.kind == Envelope::Kind::Eager) {
+    const auto& p = world_.platform();
+    cpu_cost += (rs.node == world_.ranks_[env.src]->node
+                     ? p.intra.recv_overhead
+                     : p.inter.recv_overhead) +
+                static_cast<double>(env.bytes) * p.copy_byte_time;
+    if (r.recv_buf != nullptr && !env.payload.empty()) {
+      std::memcpy(r.recv_buf, env.payload.data(), env.payload.size());
+    }
+    r.peer = env.src;
+    r.status = Status{env.src, env.tag, env.bytes};
+    r.complete = true;
+    r.state = ReqState::Complete;
+  } else {
+    send_cts(env, matched, cpu_cost);
+  }
+}
+
+void Ctx::push_chunks(double& cpu_cost) {
+  RankState& rs = st();
+  if (rs.cpu_bulk_sends.empty()) return;
+  const auto& p = world_.platform();
+  auto& v = rs.cpu_bulk_sends;
+  for (std::size_t i = 0; i < v.size();) {
+    if (!rs.pool.live(v[i])) {
+      v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    Request& r = rs.pool.get(v[i]);
+    if (r.state != ReqState::BulkCpu || r.chunk_in_flight) {
+      ++i;
+      continue;
+    }
+    const std::size_t chunk = std::min(p.bulk_chunk, r.bytes - r.cursor);
+    cpu_cost += bulk_chunk_cost(chunk);
+    const int dst = r.peer;
+    const int dst_node = world_.ranks_[dst]->node;
+    const bool same_node = rs.node == dst_node;
+    world_.machine().add_inflight(dst_node);
+    sim::Time drain_end, arrival;
+    if (same_node) {
+      const double factor =
+          world_.machine().congestion_factor(dst_node, /*intra=*/true);
+      auto slot = world_.machine().mem(rs.node).reserve(
+          now() + cpu_cost,
+          static_cast<double>(chunk) * p.mem_byte_time * factor);
+      drain_end = slot.end;
+      arrival = slot.end + p.intra.latency;
+    } else {
+      const int nic = world_.machine().nic_for(rs.node, dst_node);
+      const int rnic = world_.machine().nic_for(dst_node, rs.node);
+      auto tx = world_.machine().nic_tx(rs.node, nic).reserve(
+          now() + cpu_cost,
+          static_cast<double>(chunk) * p.inter.byte_time + p.inter.msg_gap);
+      const double factor =
+          world_.machine().congestion_factor(dst_node, /*intra=*/false);
+      auto rx = world_.machine().nic_rx(dst_node, rnic).reserve(
+          tx.start + world_.machine().latency(rs.node, dst_node),
+          (static_cast<double>(chunk) * p.inter.byte_time + p.inter.msg_gap) *
+              factor);
+      drain_end = tx.end;
+      arrival = rx.end;
+    }
+    world_.engine().schedule_at(arrival, [w = &world_, dst_node] {
+      w->machine().remove_inflight(dst_node);
+    });
+    ++rs.data_msgs;
+    r.cursor += chunk;
+    r.chunk_in_flight = true;
+    const bool last = r.cursor == r.bytes;
+    const Req h = v[i];
+    const int self = wrank_;
+    world_.engine().schedule_at(drain_end, [w = &world_, self, h] {
+      RankState& s = *w->ranks_[self];
+      if (!s.pool.live(h)) return;
+      s.pool.get(h).chunk_in_flight = false;
+      w->notify(self);  // wake to push the next chunk if blocked in wait
+    });
+    if (last) {
+      const std::uint64_t dst_match = r.peer_match_id;
+      const void* sbuf = r.send_buf;
+      world_.engine().schedule_at(arrival, [w = &world_, self, h, dst,
+                                            dst_match, sbuf] {
+        // Receiver gets the data...
+        w->complete_request(dst, dst_match, sbuf);
+        // ...and the sender completes (socket drained / copy done).
+        RankState& s = *w->ranks_[self];
+        if (!s.pool.live(h)) return;
+        Request& rr = s.pool.get(h);
+        rr.complete = true;
+        rr.state = ReqState::Complete;
+        w->notify(self);
+      });
+      v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    ++i;
+  }
+}
+
+void Ctx::progress_pass(bool explicit_call) {
+  RankState& rs = st();
+  const auto& p = world_.platform();
+  double cost = explicit_call ? p.progress_cost : 0.0;
+  cost += p.per_req_poll_cost * static_cast<double>(rs.outstanding);
+  if (!rs.inbound.empty()) {
+    std::vector<Envelope> batch;
+    batch.swap(rs.inbound);
+    for (auto& env : batch) handle_envelope(env, cost);
+  }
+  push_chunks(cost);
+  // Clients may post operations and advance schedules.
+  for (std::size_t i = 0; i < rs.clients.size(); ++i) {
+    cost += rs.clients[i]->poke(*this);
+  }
+  charge(cost);
+}
+
+// ---- public point-to-point ----
+
+Req Ctx::isend(const Comm& comm, const void* buf, std::size_t bytes, int dst,
+               int tag) {
+  progress_pass(false);
+  double cost = 0.0;
+  Req h = post_isend(comm, buf, bytes, dst, tag, cost, 0.0);
+  charge(cost);
+  return h;
+}
+
+Req Ctx::irecv(const Comm& comm, void* buf, std::size_t bytes, int src,
+               int tag) {
+  progress_pass(false);
+  double cost = 0.0;
+  Req h = post_irecv(comm, buf, bytes, src, tag, cost);
+  charge(cost);
+  return h;
+}
+
+bool Ctx::peek_complete(Req h) {
+  if (h.null()) return true;
+  return st().pool.get(h).complete;
+}
+
+Request* Ctx::request_ptr(Req h) { return st().pool.ptr(h); }
+
+void Ctx::observe(Req& h, Status* status) {
+  if (h.null()) return;
+  RankState& rs = st();
+  Request& r = rs.pool.get(h);
+  assert(r.complete);
+  if (status != nullptr) *status = r.status;
+  --rs.outstanding;
+  rs.pool.release(h);
+  h = Req{};
+}
+
+template <typename Pred>
+void Ctx::block_until(Pred&& pred) {
+  progress_pass(false);
+  while (!pred()) {
+    st().process->suspend();
+    progress_pass(false);
+  }
+}
+
+void Ctx::wait_until(const std::function<bool()>& pred) {
+  block_until([&] { return pred(); });
+}
+
+bool Ctx::test(Req& h, Status* status) {
+  if (h.null()) return true;
+  progress_pass(false);
+  if (!st().pool.get(h).complete) return false;
+  observe(h, status);
+  return true;
+}
+
+void Ctx::wait(Req& h, Status* status) {
+  if (h.null()) return;
+  block_until([&] { return st().pool.get(h).complete; });
+  observe(h, status);
+}
+
+void Ctx::wait_all(std::vector<Req>& hs) {
+  block_until([&] {
+    for (const Req& h : hs) {
+      if (!h.null() && !st().pool.get(h).complete) return false;
+    }
+    return true;
+  });
+  for (Req& h : hs) observe(h, nullptr);
+}
+
+void Ctx::send(const Comm& comm, const void* buf, std::size_t bytes, int dst,
+               int tag) {
+  Req h = isend(comm, buf, bytes, dst, tag);
+  wait(h);
+}
+
+Status Ctx::recv(const Comm& comm, void* buf, std::size_t bytes, int src,
+                 int tag) {
+  Req h = irecv(comm, buf, bytes, src, tag);
+  Status status;
+  wait(h, &status);
+  return status;
+}
+
+}  // namespace nbctune::mpi

@@ -1,0 +1,290 @@
+#pragma once
+
+// The message-passing world: N simulated ranks on a simulated machine.
+//
+// World wires the simulation engine, the machine model, and per-rank state
+// together.  Rank programs receive a Ctx& — the per-rank API surface — and
+// run as fibers.  The central modeling decision (see DESIGN.md):
+//
+//   * NIC-driven activity (eager payload delivery, RDMA bulk after the
+//     rendezvous handshake) advances autonomously in simulated time.
+//   * CPU-driven activity (matching, CTS issuance, TCP-style bulk pushes,
+//     schedule round transitions) advances ONLY when the owning rank is
+//     inside a library call — exactly the single-threaded MPI progress
+//     semantics whose consequences the paper studies.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/request.hpp"
+#include "mpi/types.hpp"
+#include "net/machine.hpp"
+#include "sim/engine.hpp"
+
+namespace nbctune::mpi {
+
+class World;
+class Ctx;
+
+/// Something that wants to be driven by the progress engine (the NBC
+/// schedule executor registers itself here).  poke() is called on every
+/// progress pass of the owning rank and may post internal operations.
+class ProgressClient {
+ public:
+  virtual ~ProgressClient() = default;
+  /// Advance; return the CPU seconds consumed by this poke.
+  virtual double poke(Ctx& ctx) = 0;
+};
+
+/// World construction options.
+struct WorldOptions {
+  int nprocs = 2;
+  std::uint64_t seed = 1;
+  /// Scale factor on the platform's noise model (0 = fully deterministic).
+  double noise_scale = 1.0;
+  /// Rank placement onto nodes.
+  enum class Placement { Block, RoundRobin } placement = Placement::Block;
+  std::size_t fiber_stack_bytes = 256 * 1024;
+};
+
+// NOTE on cost-model runs: large-scale experiments pass null buffers to
+// the collective builders; null source/destination pointers skip the
+// payload copies while every modeled cost is still charged.  Non-null
+// buffers always move real bytes — the tuner's control plane (decision
+// allreduces) depends on it.
+
+namespace detail {
+
+/// In-flight transport message (eager payload, RTS, or CTS).
+struct Envelope {
+  enum class Kind : std::uint8_t { Eager, Rts, Cts } kind = Kind::Eager;
+  int src = 0;  ///< world rank
+  int dst = 0;  ///< world rank
+  int context = 0;
+  int tag = 0;
+  std::size_t bytes = 0;         ///< payload size of the user message
+  std::uint64_t match_id = 0;    ///< sender request (Rts/Cts reply routing)
+  std::uint64_t peer_match_id = 0;  ///< receiver request (Cts)
+  const void* send_buf = nullptr;   ///< sender buffer (rendezvous delivery)
+  std::vector<std::byte> payload;   ///< copied eager payload
+  std::uint64_t arrival_seq = 0;    ///< per-receiver arrival order
+};
+
+/// Exact-match key for the posted-receive / unexpected-message tables.
+struct MatchKey {
+  int context;
+  int tag;
+  int src;
+  friend auto operator<=>(const MatchKey&, const MatchKey&) = default;
+};
+
+/// Per-rank library-side state.
+struct RankState {
+  sim::Process* process = nullptr;
+  Ctx* ctx = nullptr;
+  int node = 0;
+  RequestPool pool;
+  // Posted receives: exact (context,tag,src) fast path plus a slow list
+  // for wildcard receives; post_seq in Request keeps MPI matching order.
+  std::map<MatchKey, std::deque<Req>> exact_posted;
+  std::vector<Req> wildcard_posted;
+  std::map<MatchKey, std::deque<Envelope>> unexpected;
+  std::vector<Envelope> inbound;            // arrived, not yet processed
+  std::vector<Req> cpu_bulk_sends;          // CPU-driven bulks in progress
+  std::vector<ProgressClient*> clients;
+  std::size_t outstanding = 0;              // live un-observed requests
+  std::uint64_t next_post_seq = 0;
+  std::uint64_t next_arrival_seq = 0;
+  std::uint64_t ctrl_msgs = 0, data_msgs = 0;
+};
+
+}  // namespace detail
+
+/// Packs a request handle into the 64-bit match id carried by rendezvous
+/// control messages (the owning rank travels in the envelope src/dst).
+std::uint64_t pack_match(Req h) noexcept;
+
+/// The world: owns rank state and the transport.
+class World {
+ public:
+  World(sim::Engine& engine, net::Machine& machine, WorldOptions options);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Launch the same program on every rank.  Call engine.run() afterwards.
+  void launch(std::function<void(Ctx&)> program);
+
+  [[nodiscard]] int size() const noexcept { return options_.nprocs; }
+  [[nodiscard]] int node_of(int wrank) const;
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] net::Machine& machine() noexcept { return machine_; }
+  [[nodiscard]] const WorldOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const net::Platform& platform() const noexcept {
+    return machine_.platform();
+  }
+
+  /// The communicator containing every rank.
+  [[nodiscard]] Comm comm_world() const noexcept { return world_comm_; }
+
+  /// Deterministic child-context allocation: every member of a collective
+  /// dup/split asks with the same (parent, epoch, color) triple and gets
+  /// the same id.
+  int alloc_context(int parent_context, int epoch, int color);
+
+  /// Jitter a cost by the platform noise model (scaled by noise_scale).
+  double jitter(double cost);
+
+  /// Total messages put on the wire (diagnostics).
+  [[nodiscard]] std::uint64_t total_data_msgs() const noexcept;
+  [[nodiscard]] std::uint64_t total_ctrl_msgs() const noexcept;
+
+ private:
+  friend class Ctx;
+
+  detail::RankState& rank_state(int wrank) { return *ranks_.at(wrank); }
+
+  // ---- transport ----
+  /// Put an envelope on the wire; `earliest` is when the sender's CPU is
+  /// done preparing it.  Returns the transmit-complete time on the sender
+  /// (for eager local completion / chunk drain notification).
+  sim::Time ship(detail::Envelope env, sim::Time earliest);
+
+  void deliver(detail::Envelope env);  // arrival event body (scheduler ctx)
+  void notify(int wrank);              // wake a rank blocked in the library
+
+  /// Schedule an RDMA-style NIC-driven bulk transfer; completes both
+  /// request ends via events.
+  void start_nic_bulk(int src, int dst, Req sreq, std::uint64_t dst_match,
+                      std::size_t bytes, const void* sbuf, sim::Time earliest);
+
+  void complete_request(int wrank, std::uint64_t match_id,
+                        const void* deliver_from);
+
+  sim::Engine& engine_;
+  net::Machine& machine_;
+  WorldOptions options_;
+  std::vector<std::unique_ptr<detail::RankState>> ranks_;
+  Comm world_comm_;
+  std::shared_ptr<const CommData> world_comm_data_;
+  std::map<std::tuple<int, int, int>, int> context_registry_;
+  int next_context_ = 1;
+  std::vector<std::unique_ptr<Ctx>> ctxs_;
+};
+
+/// Per-rank API surface.  A Ctx is only valid inside its own fiber.
+class Ctx {
+ public:
+  Ctx(World& world, int wrank);
+
+  Ctx(const Ctx&) = delete;
+  Ctx& operator=(const Ctx&) = delete;
+
+  // ---- identity & time ----
+  [[nodiscard]] int world_rank() const noexcept { return wrank_; }
+  [[nodiscard]] int world_size() const noexcept { return world_.size(); }
+  [[nodiscard]] World& world() noexcept { return world_; }
+  [[nodiscard]] sim::Time now() const noexcept { return world_.engine().now(); }
+
+  // ---- computation ----
+  /// Burn CPU for `seconds` of simulated time (plus platform noise).
+  /// No library progress happens on this rank while computing.
+  void compute(double seconds);
+
+  /// One explicit pass of the progress engine (the ADCL progress call).
+  void progress();
+
+  // ---- point-to-point ----
+  Req isend(const Comm& comm, const void* buf, std::size_t bytes, int dst,
+            int tag);
+  Req irecv(const Comm& comm, void* buf, std::size_t bytes, int src, int tag);
+  bool test(Req& h, Status* status = nullptr);
+  void wait(Req& h, Status* status = nullptr);
+  void wait_all(std::vector<Req>& hs);
+  void send(const Comm& comm, const void* buf, std::size_t bytes, int dst,
+            int tag);
+  Status recv(const Comm& comm, void* buf, std::size_t bytes, int src, int tag);
+
+  // ---- internal posting interface (used by the NBC engine from inside
+  //      progress passes; does not itself run a progress pass).  Returns
+  //      the CPU cost the caller must account for. ----
+  Req post_isend(const Comm& comm, const void* buf, std::size_t bytes, int dst,
+                 int tag, double& cpu_cost, double earliest_offset);
+  Req post_irecv(const Comm& comm, void* buf, std::size_t bytes, int src,
+                 int tag, double& cpu_cost);
+  /// Non-charging completion check (no progress pass).
+  bool peek_complete(Req h);
+  /// Stable pointer to a live request (hot-path completion polling).
+  Request* request_ptr(Req h);
+  /// Observe a known-complete request, freeing it.
+  void observe(Req& h, Status* status);
+
+  // ---- progress clients ----
+  void register_client(ProgressClient* c);
+  void unregister_client(ProgressClient* c);
+
+  /// Allocate a tag for one non-blocking collective operation.  Every
+  /// rank creates collectives in the same order (collective contract), so
+  /// per-rank counters agree across the communicator.
+  int alloc_nbc_tag() {
+    const int tag = (1 << 20) + (nbc_tag_counter_++ % (1 << 22));
+    return tag;
+  }
+
+  // ---- bootstrap collectives (blocking; control plane for the harness
+  //      and the tuner's decision synchronization) ----
+  void barrier(const Comm& comm);
+  void bcast(const Comm& comm, void* buf, std::size_t bytes, int root);
+  double allreduce(const Comm& comm, double value, ReduceOp op);
+  void allreduce(const Comm& comm, const double* in, double* out,
+                 std::size_t n, ReduceOp op);
+  void allgather(const Comm& comm, const void* in, void* out,
+                 std::size_t bytes_each);
+
+  // ---- communicator management (collective over the parent) ----
+  Comm dup(const Comm& comm);
+  Comm split(const Comm& comm, int color, int key);
+
+  /// Sleep the fiber for a CPU cost (used by library internals).
+  void charge(double seconds);
+
+  /// One progress pass: drain inbound envelopes, push CPU-driven bulks,
+  /// poke clients.  `explicit_call` adds the base progress cost.
+  void progress_pass(bool explicit_call);
+
+  /// Block (progressing) until pred() becomes true.  The predicate is
+  /// evaluated after each progress pass; the rank sleeps between passes
+  /// and is woken by message events.  Used by higher layers (NBC wait).
+  void wait_until(const std::function<bool()>& pred);
+
+ private:
+  friend class World;
+
+  detail::RankState& st() { return world_.rank_state(wrank_); }
+
+  /// Blocking-loop helper: progress until pred() is true.
+  template <typename Pred>
+  void block_until(Pred&& pred);
+
+  bool try_match_unexpected(Req rh, double& cpu_cost);
+  void handle_envelope(detail::Envelope& env, double& cpu_cost);
+  void send_cts(const detail::Envelope& rts, Req rh, double& cpu_cost);
+  void push_chunks(double& cpu_cost);
+  double bulk_chunk_cost(std::size_t chunk) const;
+
+  World& world_;
+  int wrank_;
+  int epoch_counter_ = 0;  // tag disambiguation for bootstrap collectives
+  int nbc_tag_counter_ = 0;
+  std::map<int, int> split_epochs_;  // per-context dup/split call counts
+};
+
+}  // namespace nbctune::mpi

@@ -1,0 +1,76 @@
+#pragma once
+
+// The schedule executor: LibNBC's NBC_Handle equivalent.
+//
+// A Handle binds a Schedule to a communicator and a tag, registers itself
+// with the rank's progress engine, and advances the schedule one round at
+// a time from progress passes.  This is the key fidelity point: a
+// multi-round schedule needs multiple progress-engine invocations to move
+// forward, so algorithms with more rounds need more progress calls to
+// overlap — the phenomenon of the paper's Figs. 6 and 7.
+
+#include <cstddef>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/world.hpp"
+#include "nbc/schedule.hpp"
+
+namespace nbctune::nbc {
+
+/// Executes one Schedule; restartable (persistent-operation semantics).
+class Handle : public mpi::ProgressClient {
+ public:
+  /// @param ctx       the owning rank's context
+  /// @param comm      communicator the schedule's peers refer to
+  /// @param schedule  recipe to execute; must outlive the handle
+  /// @param tag       tag for every message of this operation; concurrent
+  ///                  operations on the same communicator need distinct tags
+  Handle(mpi::Ctx& ctx, mpi::Comm comm, const Schedule* schedule, int tag);
+  ~Handle() override;
+
+  Handle(const Handle&) = delete;
+  Handle& operator=(const Handle&) = delete;
+
+  /// Begin (or restart) execution: posts round 0.  The previous execution
+  /// must have completed.
+  void start();
+
+  /// True once every round has completed.
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// One progress pass on this rank; cheap completion check afterwards.
+  bool test();
+
+  /// Block (progressing) until the operation completes.
+  void wait();
+
+  /// ProgressClient: advance at most one round per pass (LibNBC fidelity).
+  double poke(mpi::Ctx& ctx) override;
+
+  /// Swap the schedule (the tuner switches implementations between
+  /// executions).  Only valid while inactive.
+  void rebind(const Schedule* schedule);
+
+  [[nodiscard]] std::size_t rounds_completed() const noexcept {
+    return round_;
+  }
+
+ private:
+  double post_round(std::size_t r);  // returns CPU cost of posting
+
+  mpi::Ctx& ctx_;
+  mpi::Comm comm_;
+  const Schedule* schedule_;
+  int tag_;
+  std::size_t round_ = 0;
+  std::vector<mpi::Req> pending_;
+  // Cached stable pointers to the pending requests: the per-pass
+  // completion poll is the hottest loop in the simulator.
+  std::vector<mpi::Request*> pending_ptrs_;
+  bool active_ = false;
+  bool done_ = true;  // nothing started yet counts as complete
+};
+
+}  // namespace nbctune::nbc

@@ -1,0 +1,71 @@
+#include "net/machine.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace nbctune::net {
+
+Machine::Machine(Platform platform) : platform_(std::move(platform)) {
+  if (platform_.nodes <= 0 || platform_.nics_per_node <= 0) {
+    throw std::invalid_argument("Machine: platform must have nodes and NICs");
+  }
+  tx_.resize(platform_.nodes);
+  rx_.resize(platform_.nodes);
+  mem_.reserve(platform_.nodes);
+  for (int n = 0; n < platform_.nodes; ++n) {
+    for (int i = 0; i < platform_.nics_per_node; ++i) {
+      tx_[n].emplace_back("tx:" + std::to_string(n) + ":" + std::to_string(i));
+      rx_[n].emplace_back("rx:" + std::to_string(n) + ":" + std::to_string(i));
+    }
+    mem_.emplace_back("mem:" + std::to_string(n));
+  }
+  inflight_.assign(platform_.nodes, 0);
+}
+
+sim::Resource& Machine::nic_tx(int node, int nic) { return tx_.at(node).at(nic); }
+sim::Resource& Machine::nic_rx(int node, int nic) { return rx_.at(node).at(nic); }
+sim::Resource& Machine::mem(int node) { return mem_.at(node); }
+
+int Machine::nic_for(int node, int peer_node) const noexcept {
+  (void)node;
+  return peer_node % platform_.nics_per_node;
+}
+
+namespace {
+int ring_distance(int a, int b, int dim) noexcept {
+  const int d = std::abs(a - b);
+  return std::min(d, dim - d);
+}
+}  // namespace
+
+int Machine::torus_hops(int node_a, int node_b) const noexcept {
+  if (platform_.torus_x <= 0 || node_a == node_b) return 0;
+  const int yx = platform_.torus_x;
+  const int zplane = platform_.torus_x * platform_.torus_y;
+  const int ax = node_a % yx, ay = (node_a / yx) % platform_.torus_y,
+            az = node_a / zplane;
+  const int bx = node_b % yx, by = (node_b / yx) % platform_.torus_y,
+            bz = node_b / zplane;
+  return ring_distance(ax, bx, platform_.torus_x) +
+         ring_distance(ay, by, platform_.torus_y) +
+         ring_distance(az, bz, platform_.torus_z);
+}
+
+double Machine::latency(int node_a, int node_b) const noexcept {
+  if (node_a == node_b) return platform_.intra.latency;
+  return platform_.inter.latency +
+         platform_.hop_latency * torus_hops(node_a, node_b);
+}
+
+void Machine::reset() {
+  for (auto& node : tx_)
+    for (auto& r : node) r.reset();
+  for (auto& node : rx_)
+    for (auto& r : node) r.reset();
+  for (auto& r : mem_) r.reset();
+  inflight_.assign(platform_.nodes, 0);
+}
+
+}  // namespace nbctune::net

@@ -1,0 +1,149 @@
+#include "sim/engine.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nbctune::sim {
+
+// ---------------------------------------------------------------- Process
+
+Process::Process(Engine& engine, int id, std::string name,
+                 std::function<void(Process&)> body, std::size_t stack_bytes)
+    : engine_(engine),
+      id_(id),
+      name_(std::move(name)),
+      fiber_([this, body = std::move(body)] { body(*this); }, stack_bytes) {}
+
+void Process::sleep(Time dt) {
+  if (dt < 0) throw std::invalid_argument("Process::sleep: negative dt");
+  if (dt == 0) return;
+  engine_.schedule_after(dt, [this] { run_slice(); });
+  fiber_.yield();
+}
+
+void Process::suspend() {
+  if (wake_pending_) {
+    wake_pending_ = false;
+    return;
+  }
+  suspended_ = true;
+  fiber_.yield();
+  suspended_ = false;
+}
+
+void Process::wake() {
+  if (fiber_.running() || finished()) return;
+  if (!suspended_) {
+    // Sleeping or not yet started: remember the wake so the next suspend()
+    // returns immediately.
+    wake_pending_ = true;
+    return;
+  }
+  if (wake_pending_) return;  // a resume event is already queued
+  wake_pending_ = true;
+  engine_.schedule_after(0.0, [this] {
+    if (suspended_) {
+      wake_pending_ = false;
+      run_slice();
+    }
+    // If the process is no longer suspended (e.g. finished), drop the wake.
+  });
+}
+
+void Process::run_slice() { fiber_.resume(); }
+
+// ----------------------------------------------------------------- Engine
+
+Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+
+std::uint64_t Engine::schedule_at(Time t, Callback cb) {
+  if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
+  const std::uint64_t id = next_seq_++;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(cb);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(cb));
+  }
+  queue_.push(Event{t, id, slot});
+  return id;
+}
+
+void Engine::cancel(std::uint64_t id) { cancelled_.insert(id); }
+
+Process& Engine::add_process(std::string name,
+                             std::function<void(Process&)> body,
+                             std::size_t stack_bytes) {
+  const int id = static_cast<int>(processes_.size());
+  processes_.push_back(std::make_unique<Process>(*this, id, std::move(name),
+                                                 std::move(body), stack_bytes));
+  Process* p = processes_.back().get();
+  start_pending_.push_back(p);
+  if (running_) {
+    // Started mid-run: launch via an event at the current time.
+    schedule_after(0.0, [this] { launch_pending(); });
+  }
+  return *p;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    Callback cb = std::move(slots_[ev.slot]);
+    free_slots_.push_back(ev.slot);
+    if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) continue;
+    now_ = ev.t;
+    ++events_processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::check_deadlock() const {
+  std::ostringstream oss;
+  bool any = false;
+  for (const auto& p : processes_) {
+    if (!p->finished() && p->suspended()) {
+      if (!any) {
+        oss << "simulated deadlock: event queue empty but processes "
+               "suspended:";
+        any = true;
+      }
+      oss << ' ' << p->name();
+    }
+  }
+  if (any) throw DeadlockError(oss.str());
+}
+
+void Engine::launch_pending() {
+  // FIFO start order (process 0 first) for reproducible startup.
+  std::vector<Process*> batch;
+  batch.swap(start_pending_);
+  for (Process* p : batch) p->run_slice();
+}
+
+void Engine::run() {
+  running_ = true;
+  launch_pending();
+  while (step()) {
+  }
+  running_ = false;
+  check_deadlock();
+}
+
+void Engine::run_until(Time t) {
+  running_ = true;
+  launch_pending();
+  while (!queue_.empty() && queue_.top().t <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+  running_ = false;
+}
+
+}  // namespace nbctune::sim

@@ -1,0 +1,163 @@
+#pragma once
+
+// Discrete-event simulation engine.
+//
+// The engine owns a clock (seconds, double precision), a priority queue of
+// events, and a set of processes.  Each process is a fiber (see fiber.hpp)
+// running an arbitrary program; processes advance the clock by sleeping and
+// interact through events.  Event ordering is fully deterministic: ties in
+// time are broken by insertion sequence number.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/fiber.hpp"
+#include "sim/inline_fn.hpp"
+#include "sim/random.hpp"
+
+namespace nbctune::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+class Engine;
+
+/// One simulated process: a program running on its own fiber, owned by the
+/// engine.  All methods except wake() must be called from inside the
+/// process's own fiber; wake() is called from scheduler context (events).
+class Process {
+ public:
+  Process(Engine& engine, int id, std::string name,
+          std::function<void(Process&)> body, std::size_t stack_bytes);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Engine-wide process index (0-based, dense).
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] bool finished() const noexcept { return fiber_.finished(); }
+
+  /// Advance this process's time by dt; other events run meanwhile.
+  /// A sleeping process cannot be interrupted (models a busy CPU).
+  void sleep(Time dt);
+
+  /// Block until some event calls wake().  Returns immediately if a wake
+  /// arrived since the last suspend (no lost wakeups when used in a
+  /// check-condition-then-suspend loop).
+  void suspend();
+
+  /// Wake a suspended process: schedules its resumption at the current
+  /// time.  No-op if the process is running, sleeping, or already woken.
+  /// Safe to call multiple times; wakes coalesce.
+  void wake();
+
+  /// True if currently blocked in suspend().
+  [[nodiscard]] bool suspended() const noexcept { return suspended_; }
+
+ private:
+  friend class Engine;
+  void run_slice();  // resume the fiber (scheduler side)
+
+  Engine& engine_;
+  int id_;
+  std::string name_;
+  Fiber fiber_;
+  bool suspended_ = false;
+  bool wake_pending_ = false;
+};
+
+/// The simulation engine / scheduler.
+class Engine {
+ public:
+  /// Event callbacks are small-buffer callables (see inline_fn.hpp):
+  /// scheduling never allocates, which matters at tens of millions of
+  /// events per experiment.
+  using Callback = InlineFn;
+
+  explicit Engine(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
+
+  /// Schedule cb at absolute time t (>= now).  Returns an id for cancel().
+  std::uint64_t schedule_at(Time t, Callback cb);
+
+  /// Schedule cb dt seconds from now.
+  std::uint64_t schedule_after(Time dt, Callback cb) {
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Lazily cancel a scheduled event.  Cancelling an already-fired or
+  /// unknown id is a no-op.
+  void cancel(std::uint64_t id);
+
+  /// Create a process; its body starts running when run() is called.
+  /// Returns the process (owned by the engine, stable address).
+  Process& add_process(std::string name, std::function<void(Process&)> body,
+                       std::size_t stack_bytes = 256 * 1024);
+
+  [[nodiscard]] std::size_t process_count() const noexcept {
+    return processes_.size();
+  }
+  [[nodiscard]] Process& process(int id) { return *processes_.at(id); }
+
+  /// Run until the event queue is empty.  Throws DeadlockError if the
+  /// queue drains while processes are still suspended.
+  void run();
+
+  /// Run until the clock reaches t (events at exactly t still fire).
+  void run_until(Time t);
+
+  /// Thrown by run() when all events are exhausted but suspended
+  /// processes remain: a genuine simulated deadlock.
+  struct DeadlockError : std::runtime_error {
+    explicit DeadlockError(const std::string& what)
+        : std::runtime_error(what) {}
+  };
+
+ private:
+  // The heap holds small plain entries; callbacks live in a slab indexed
+  // by slot so heap sifts move 24 bytes instead of the whole callable.
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool step();  // pop and run one event; false if queue empty
+  void check_deadlock() const;
+  void launch_pending();  // start processes added since the last call
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<Callback> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Process*> start_pending_;
+  Rng rng_;
+  bool running_ = false;
+};
+
+}  // namespace nbctune::sim

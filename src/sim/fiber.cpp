@@ -1,0 +1,66 @@
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace nbctune::sim {
+
+namespace {
+// The fiber being entered or currently running.  Single-threaded by design.
+thread_local Fiber* g_current = nullptr;
+}  // namespace
+
+Fiber::Fiber(Fn fn, std::size_t stack_bytes)
+    : fn_(std::move(fn)), stack_(new char[stack_bytes]) {
+  if (!fn_) throw std::invalid_argument("Fiber requires a callable");
+  if (getcontext(&ctx_) != 0) throw std::runtime_error("getcontext failed");
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_link = &return_ctx_;
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+Fiber::~Fiber() {
+  // Destroying a suspended-but-unfinished fiber leaks whatever is on its
+  // stack (no unwinding).  The simulator only destroys fibers after their
+  // programs complete; assert in debug builds to catch misuse.
+  assert(finished_ || !started_);
+}
+
+Fiber* Fiber::current() noexcept { return g_current; }
+
+void Fiber::trampoline() {
+  Fiber* self = g_current;
+  try {
+    self->fn_();
+  } catch (...) {
+    self->pending_exception_ = std::current_exception();
+  }
+  self->finished_ = true;
+  // uc_link returns to return_ctx_ (inside resume()).
+}
+
+void Fiber::resume() {
+  if (finished_) throw std::logic_error("resume() on finished fiber");
+  if (running_) throw std::logic_error("resume() on running fiber");
+  Fiber* prev = g_current;
+  g_current = this;
+  running_ = true;
+  started_ = true;
+  swapcontext(&return_ctx_, &ctx_);
+  running_ = false;
+  g_current = prev;
+  if (pending_exception_) {
+    auto ex = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+}
+
+void Fiber::yield() {
+  if (g_current != this || !running_)
+    throw std::logic_error("yield() must be called on the running fiber");
+  swapcontext(&ctx_, &return_ctx_);
+}
+
+}  // namespace nbctune::sim

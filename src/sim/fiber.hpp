@@ -1,0 +1,71 @@
+#pragma once
+
+// Cooperative user-space fibers built on POSIX ucontext.
+//
+// The simulation runs every simulated rank as one fiber.  Exactly one fiber
+// executes at any time; the scheduler (the "main" context) resumes a fiber,
+// and the fiber returns control by yielding.  This gives deterministic,
+// single-threaded execution with cheap context switches, which matters on
+// the single-core hosts this simulator targets.
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+
+#include <ucontext.h>
+
+namespace nbctune::sim {
+
+/// A single cooperatively scheduled fiber.
+///
+/// Lifecycle: construct with the function to run, call resume() to enter it,
+/// the function calls yield() to suspend back into resume()'s caller.  Once
+/// the function returns, finished() is true and resume() must not be called
+/// again.  Exceptions escaping the fiber function are captured and rethrown
+/// from resume().
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  /// @param fn          body executed on the fiber's own stack
+  /// @param stack_bytes stack size; the default is generous for the
+  ///                    schedule builders and FFT kernels that run on it
+  explicit Fiber(Fn fn, std::size_t stack_bytes = 256 * 1024);
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  ~Fiber();
+
+  /// Switch from the scheduler into the fiber.  Returns when the fiber
+  /// yields or its function returns.  Rethrows any exception that escaped
+  /// the fiber body.
+  void resume();
+
+  /// Switch from inside the fiber back to the scheduler.  Must only be
+  /// called on the currently running fiber.
+  void yield();
+
+  /// True once the fiber function has returned.
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// True while execution is inside this fiber (between resume and yield).
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// The fiber currently executing, or nullptr when in the scheduler.
+  static Fiber* current() noexcept;
+
+ private:
+  static void trampoline();
+
+  Fn fn_;
+  std::unique_ptr<char[]> stack_;
+  ucontext_t ctx_{};      // the fiber's own context
+  ucontext_t return_ctx_{};  // where to go back on yield/finish
+  bool started_ = false;
+  bool finished_ = false;
+  bool running_ = false;
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace nbctune::sim

@@ -1,0 +1,85 @@
+#pragma once
+
+// Small-buffer move-only callable: std::function replacement for event
+// callbacks.  The simulator schedules tens of millions of events whose
+// captures run to ~40 bytes; std::function heap-allocates beyond 16 bytes,
+// which dominates the event loop.  InlineFn stores up to kInlineBytes in
+// place and rejects larger callables at compile time, so scheduling never
+// allocates.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nbctune::sim {
+
+class InlineFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFn>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): callable sink
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "event callback capture exceeds InlineFn buffer");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "event callback must be nothrow movable");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    relocate_ = [](void* dst, void* src) {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    };
+    destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+  void reset() noexcept {
+    if (destroy_ != nullptr) destroy_(buf_);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+ private:
+  void move_from(InlineFn& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    if (relocate_ != nullptr) relocate_(buf_, other.buf_);
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes]{};
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void*, void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace nbctune::sim

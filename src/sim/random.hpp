@@ -1,0 +1,50 @@
+#pragma once
+
+// Deterministic random number generation for the simulator.
+//
+// A thin wrapper over a SplitMix64/xoshiro-style generator.  The engine owns
+// one Rng; because event execution order is deterministic, every simulation
+// with the same seed reproduces bit-identically.
+
+#include <cstdint>
+
+namespace nbctune::sim {
+
+/// Small, fast, deterministic PRNG (xoshiro256** core, SplitMix64 seeding).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n) (n > 0).
+  std::uint64_t uniform_below(std::uint64_t n) noexcept {
+    return next_u64() % n;
+  }
+
+  /// Standard normal via Box-Muller (one value per call; cached pair).
+  double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double sigma) noexcept {
+    return mean + sigma * normal();
+  }
+
+ private:
+  std::uint64_t s_[4]{};
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace nbctune::sim

@@ -1,0 +1,328 @@
+// End-to-end tuning through the persistent Request / Timer API in the
+// simulator: learning-phase switching, winner quality, payload integrity
+// throughout, blocking function-set members, co-tuning, historic learning.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "adcl/adcl.hpp"
+#include "mpi/world.hpp"
+#include "net/platform.hpp"
+#include "testing_util.hpp"
+
+using namespace nbctune;
+namespace t = nbctune::testing;
+
+namespace {
+const net::Platform kIb = net::whale();
+
+std::byte a2a_byte(int s, int d, std::size_t i, int it) {
+  return static_cast<std::byte>((s * 37 + d * 101 + int(i) * 3 + it * 11) &
+                                0xff);
+}
+
+/// Runs the micro-benchmark loop with a tuned request; returns the winner
+/// name, total time, and whether payloads stayed correct.
+struct TunedRun {
+  std::string winner;
+  double total_time = 0.0;
+  bool data_ok = true;
+  int decision_iteration = -1;
+  std::map<int, double> scores;
+};
+
+TunedRun run_tuned_alltoall(int nprocs, std::size_t block, int iters,
+                            adcl::TuningOptions opts,
+                            double compute = 200e-6, int progress_calls = 4) {
+  TunedRun out;
+  t::run_world(kIb, nprocs, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    const int me = ctx.world_rank();
+    const int n = comm.size();
+    std::vector<std::byte> sbuf(n * block), rbuf(n * block);
+    auto req = adcl::ialltoall_init(ctx, comm, sbuf.data(), rbuf.data(),
+                                    block, opts);
+    for (int it = 0; it < iters; ++it) {
+      for (int d = 0; d < n; ++d)
+        for (std::size_t i = 0; i < block; ++i)
+          sbuf[d * block + i] = a2a_byte(me, d, i, it);
+      req->init();
+      for (int p = 0; p < progress_calls; ++p) {
+        ctx.compute(compute / progress_calls);
+        req->progress();
+      }
+      req->wait();
+      for (int src = 0; src < n && out.data_ok; ++src)
+        for (std::size_t i = 0; i < block; ++i)
+          if (rbuf[src * block + i] != a2a_byte(src, me, i, it)) {
+            out.data_ok = false;
+            break;
+          }
+    }
+    if (me == 0) {
+      out.winner = req->selection().decided()
+                       ? req->current_function().name
+                       : "<undecided>";
+      out.decision_iteration = req->selection().decision_iteration();
+      out.scores = req->selection().scores();
+      out.total_time = ctx.now();
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+TEST(Request, LearningPhaseCyclesThenDecides) {
+  adcl::TuningOptions opts;
+  opts.policy = adcl::PolicyKind::BruteForce;
+  opts.tests_per_function = 3;
+  auto r = run_tuned_alltoall(4, 1024, 3 * 3 + 5, opts);
+  EXPECT_TRUE(r.data_ok);
+  EXPECT_NE(r.winner, "<undecided>");
+  EXPECT_EQ(r.decision_iteration, 9);  // 3 functions x 3 tests
+  EXPECT_EQ(r.scores.size(), 3u);      // every algorithm was measured
+}
+
+TEST(Request, DataStaysCorrectAcrossImplementationSwitches) {
+  // The learning phase runs a different algorithm per batch; every single
+  // iteration must still deliver correct payloads.
+  adcl::TuningOptions opts;
+  opts.policy = adcl::PolicyKind::BruteForce;
+  opts.tests_per_function = 2;
+  auto r = run_tuned_alltoall(5, 700, 10, opts);
+  EXPECT_TRUE(r.data_ok);
+}
+
+TEST(Request, WinnerMatchesBestFixedImplementation) {
+  // Verification-run logic (paper §IV-A): the tuned winner must be the
+  // implementation with the lowest fixed-run time (or within 5%).
+  const int nprocs = 8;
+  const std::size_t block = 1024;
+  adcl::TuningOptions opts;
+  opts.policy = adcl::PolicyKind::BruteForce;
+  opts.tests_per_function = 4;
+  auto tuned = run_tuned_alltoall(nprocs, block, 20, opts);
+  ASSERT_TRUE(tuned.data_ok);
+
+  // Fixed runs: pin each function via force_winner.
+  std::map<std::string, double> fixed_times;
+  auto fset = adcl::make_ialltoall_functionset();
+  for (std::size_t f = 0; f < fset->size(); ++f) {
+    double loop_time = 0.0;
+    t::run_world(kIb, nprocs, [&](mpi::Ctx& ctx) {
+      auto comm = ctx.world().comm_world();
+      const int n = comm.size();
+      std::vector<std::byte> sbuf(n * block), rbuf(n * block);
+      auto req = adcl::ialltoall_init(ctx, comm, sbuf.data(), rbuf.data(),
+                                      block, opts);
+      req->selection().force_winner(static_cast<int>(f));
+      const double t0 = ctx.now();
+      for (int it = 0; it < 8; ++it) {
+        req->init();
+        for (int p = 0; p < 4; ++p) {
+          ctx.compute(50e-6);
+          req->progress();
+        }
+        req->wait();
+      }
+      if (ctx.world_rank() == 0) loop_time = ctx.now() - t0;
+    });
+    fixed_times[fset->function(f).name] = loop_time;
+  }
+  double best = 1e30;
+  std::string best_name;
+  for (const auto& [name, time] : fixed_times) {
+    if (time < best) {
+      best = time;
+      best_name = name;
+    }
+  }
+  EXPECT_LE(fixed_times.at(tuned.winner), best * 1.05)
+      << "tuned winner " << tuned.winner << " vs best fixed " << best_name;
+}
+
+TEST(Request, TimerDrivesSelection) {
+  // Timer-driven mode (paper Fig. 1): the request does not self-time; the
+  // timer's start/stop bracketing feeds the samples.
+  std::string winner;
+  int iterations = 0;
+  t::run_world(kIb, 4, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    const int n = comm.size();
+    const std::size_t block = 2048;
+    std::vector<std::byte> sbuf(n * block), rbuf(n * block);
+    adcl::TuningOptions opts;
+    opts.tests_per_function = 2;
+    auto req = adcl::ialltoall_init(ctx, comm, sbuf.data(), rbuf.data(),
+                                    block, opts);
+    adcl::Timer timer(ctx, {req.get()});
+    for (int it = 0; it < 10; ++it) {
+      timer.start();
+      req->init();
+      ctx.compute(100e-6);
+      req->progress();
+      req->wait();
+      timer.stop();
+    }
+    if (ctx.world_rank() == 0) {
+      winner = req->selection().decided() ? req->current_function().name
+                                          : "<undecided>";
+      iterations = req->selection().iterations();
+    }
+  });
+  EXPECT_NE(winner, "<undecided>");
+  EXPECT_EQ(iterations, 10);
+}
+
+TEST(Request, TimerMisuseThrows) {
+  t::run_world(kIb, 2, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    std::vector<std::byte> b(2 * 64);
+    auto req = adcl::ialltoall_init(ctx, comm, b.data(), b.data(), 64);
+    adcl::Timer timer(ctx, {req.get()});
+    EXPECT_THROW(timer.stop(), std::logic_error);
+    timer.start();
+    EXPECT_THROW(timer.start(), std::logic_error);
+    timer.stop();
+    EXPECT_THROW(adcl::Timer(ctx, {}), std::invalid_argument);
+  });
+}
+
+TEST(Request, BlockingFunctionSetMembers) {
+  // Extended function-set (paper §IV-B): blocking implementations join
+  // the set with a null wait phase; tuning still works and data stays
+  // correct whichever kind wins.
+  adcl::TuningOptions opts;
+  opts.policy = adcl::PolicyKind::BruteForce;
+  opts.tests_per_function = 2;
+  bool data_ok = true;
+  std::string winner;
+  t::run_world(kIb, 4, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    const int n = comm.size();
+    const std::size_t block = 512;
+    std::vector<std::byte> sbuf(n * block), rbuf(n * block);
+    auto req = adcl::ialltoall_init(ctx, comm, sbuf.data(), rbuf.data(),
+                                    block, opts, nullptr,
+                                    /*include_blocking=*/true);
+    for (int it = 0; it < 14; ++it) {  // 6 functions x 2 + extra
+      for (int d = 0; d < n; ++d)
+        for (std::size_t i = 0; i < block; ++i)
+          sbuf[d * block + i] = a2a_byte(ctx.world_rank(), d, i, it);
+      req->init();
+      ctx.compute(50e-6);
+      req->progress();
+      req->wait();
+      for (int src = 0; src < n && data_ok; ++src)
+        for (std::size_t i = 0; i < block; ++i)
+          if (rbuf[src * block + i] != a2a_byte(src, ctx.world_rank(), i, it))
+            data_ok = false;
+    }
+    if (ctx.world_rank() == 0 && req->selection().decided()) {
+      winner = req->current_function().name;
+    }
+  });
+  EXPECT_TRUE(data_ok);
+  EXPECT_FALSE(winner.empty());
+}
+
+TEST(Request, CoTunedRequestsShareDecision) {
+  // Two window-slot requests (as in the FFT kernel) share one
+  // SelectionState: a single timer sample per iteration tunes both.
+  std::string w0, w1;
+  t::run_world(kIb, 4, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    const int n = comm.size();
+    const std::size_t block = 1024;
+    std::vector<std::byte> s0(n * block), r0(n * block);
+    std::vector<std::byte> s1(n * block), r1(n * block);
+    adcl::TuningOptions opts;
+    opts.tests_per_function = 2;
+    auto reqA =
+        adcl::ialltoall_init(ctx, comm, s0.data(), r0.data(), block, opts);
+    auto reqB = adcl::ialltoall_init(ctx, comm, s1.data(), r1.data(), block,
+                                     opts, reqA->selection_ptr());
+    adcl::Timer timer(ctx, {reqA.get(), reqB.get()});
+    for (int it = 0; it < 8; ++it) {
+      timer.start();
+      reqA->init();
+      reqB->init();
+      ctx.compute(100e-6);
+      reqA->progress();
+      reqA->wait();
+      reqB->wait();
+      timer.stop();
+    }
+    if (ctx.world_rank() == 0) {
+      w0 = reqA->current_function().name;
+      w1 = reqB->current_function().name;
+      EXPECT_TRUE(reqA->selection().decided());
+      EXPECT_EQ(&reqA->selection(), &reqB->selection());
+    }
+  });
+  EXPECT_EQ(w0, w1);
+}
+
+TEST(Request, MismatchedSharedSelectionThrows) {
+  t::run_world(kIb, 2, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    std::vector<std::byte> b(2 * 64);
+    auto reqA = adcl::ialltoall_init(ctx, comm, b.data(), b.data(), 64);
+    // Binding an ibcast request to the alltoall selection must fail.
+    adcl::OpArgs args;
+    args.comm = comm;
+    args.rbuf = b.data();
+    args.bytes = 64;
+    EXPECT_THROW(adcl::request_create(ctx, adcl::make_ibcast_functionset(),
+                                      args, {}, reqA->selection_ptr()),
+                 std::invalid_argument);
+  });
+}
+
+TEST(Request, LifecycleErrors) {
+  t::run_world(kIb, 2, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    std::vector<std::byte> b(2 * 64);
+    auto req = adcl::ialltoall_init(ctx, comm, b.data(), b.data(), 64);
+    EXPECT_THROW(req->wait(), std::logic_error);
+    req->init();
+    EXPECT_THROW(req->init(), std::logic_error);
+    req->wait();
+  });
+}
+
+TEST(History, RoundTripAndReuse) {
+  adcl::HistoryStore store;
+  // First run records the winner...
+  adcl::TuningOptions opts;
+  opts.tests_per_function = 2;
+  opts.history = &store;
+  auto first = run_tuned_alltoall(4, 1024, 10, opts);
+  ASSERT_NE(first.winner, "<undecided>");
+  EXPECT_EQ(store.size(), 1u);
+  // ... a second run skips the learning phase entirely and lands on the
+  // stored winner at iteration 0 (paper §IV-B "historic learning").
+  auto second = run_tuned_alltoall(4, 1024, 4, opts);
+  EXPECT_EQ(second.winner, first.winner);
+  EXPECT_EQ(second.decision_iteration, 0);
+  EXPECT_TRUE(second.scores.empty());  // nothing was measured
+}
+
+TEST(History, FilePersistence) {
+  adcl::HistoryStore store;
+  store.put(adcl::history_key("whale", "ialltoall", 32, 1024), "pairwise");
+  store.put(adcl::history_key("crill", "ibcast", 128, 2048, "pc5"),
+            "binomial/seg64k");
+  const std::string path = ::testing::TempDir() + "/nbctune_history.txt";
+  store.save(path);
+  adcl::HistoryStore loaded;
+  loaded.load(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.get("whale/ialltoall/np32/b1024"), "pairwise");
+  EXPECT_EQ(loaded.get("crill/ibcast/np128/b2048/pc5"), "binomial/seg64k");
+  EXPECT_FALSE(loaded.get("nope").has_value());
+  EXPECT_THROW(loaded.load("/definitely/not/here"), std::runtime_error);
+}

@@ -1,0 +1,389 @@
+// Property tests for the collective algorithm library: every algorithm,
+// across rank counts (including non-powers-of-two), message sizes spanning
+// the eager/rendezvous boundary, and roots, must deliver bit-identical
+// payloads to the trivial reference.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "coll/blocking.hpp"
+#include "coll/iallgather.hpp"
+#include "coll/ialltoall.hpp"
+#include "coll/ibcast.hpp"
+#include "coll/ireduce.hpp"
+#include "mpi/world.hpp"
+#include "nbc/handle.hpp"
+#include "net/platform.hpp"
+#include "testing_util.hpp"
+
+using namespace nbctune;
+namespace t = nbctune::testing;
+
+namespace {
+const net::Platform kIb = net::whale();
+
+// Payload byte for the block sent from rank s to rank d.
+std::byte a2a_byte(int s, int d, std::size_t i) {
+  return static_cast<std::byte>((s * 37 + d * 101 + int(i) * 3 + 5) & 0xff);
+}
+}  // namespace
+
+// ------------------------------------------------------------- Ialltoall
+
+enum class A2A { Linear, Pairwise, Bruck };
+
+class AlltoallCorrectness
+    : public ::testing::TestWithParam<std::tuple<A2A, int, std::size_t>> {};
+
+static std::string a2a_name(
+    const ::testing::TestParamInfo<std::tuple<A2A, int, std::size_t>>& info) {
+  static const char* names[] = {"linear", "pairwise", "bruck"};
+  return std::string(names[int(std::get<0>(info.param))]) + "_n" +
+         std::to_string(std::get<1>(info.param)) + "_b" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlltoallCorrectness,
+    ::testing::Combine(::testing::Values(A2A::Linear, A2A::Pairwise,
+                                         A2A::Bruck),
+                       ::testing::Values(2, 3, 4, 5, 7, 8, 12, 16, 17),
+                       ::testing::Values(std::size_t{1}, std::size_t{64},
+                                         std::size_t{1024},
+                                         std::size_t{20000})),
+    a2a_name);
+
+TEST_P(AlltoallCorrectness, DeliversAllBlocks) {
+  const auto [algo, n, block] = GetParam();
+  std::vector<std::vector<std::byte>> results(n);
+  t::run_world(kIb, n, [&, n = n, block = block, algo = algo](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    const int me = ctx.world_rank();
+    std::vector<std::byte> sbuf(std::size_t(n) * block);
+    std::vector<std::byte> rbuf(std::size_t(n) * block,
+                                std::byte{0xee});
+    for (int d = 0; d < n; ++d)
+      for (std::size_t i = 0; i < block; ++i)
+        sbuf[std::size_t(d) * block + i] = a2a_byte(me, d, i);
+    nbc::Schedule s;
+    switch (algo) {
+      case A2A::Linear:
+        s = coll::build_ialltoall_linear(me, n, sbuf.data(), rbuf.data(),
+                                         block);
+        break;
+      case A2A::Pairwise:
+        s = coll::build_ialltoall_pairwise(me, n, sbuf.data(), rbuf.data(),
+                                           block);
+        break;
+      case A2A::Bruck:
+        s = coll::build_ialltoall_bruck(me, n, sbuf.data(), rbuf.data(),
+                                        block);
+        break;
+    }
+    nbc::Handle h(ctx, comm, &s, ctx.alloc_nbc_tag());
+    h.start();
+    h.wait();
+    results[me] = rbuf;
+  });
+  for (int d = 0; d < n; ++d) {
+    for (int src = 0; src < n; ++src) {
+      for (std::size_t i = 0; i < block; ++i) {
+        ASSERT_EQ(results[d][std::size_t(src) * block + i],
+                  a2a_byte(src, d, i))
+            << "dst=" << d << " src=" << src << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Alltoall, RestartedScheduleStaysCorrect) {
+  // Persistent semantics: the same schedule re-executed with fresh data.
+  const int n = 5;
+  const std::size_t block = 512;
+  std::vector<int> failures(n, 0);
+  t::run_world(kIb, n, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    const int me = ctx.world_rank();
+    std::vector<std::byte> sbuf(n * block), rbuf(n * block);
+    nbc::Schedule s =
+        coll::build_ialltoall_bruck(me, n, sbuf.data(), rbuf.data(), block);
+    nbc::Handle h(ctx, comm, &s, ctx.alloc_nbc_tag());
+    for (int it = 0; it < 3; ++it) {
+      for (int d = 0; d < n; ++d)
+        for (std::size_t i = 0; i < block; ++i)
+          sbuf[d * block + i] = a2a_byte(me + it, d, i);
+      h.start();
+      h.wait();
+      for (int src = 0; src < n; ++src)
+        for (std::size_t i = 0; i < block; ++i)
+          if (rbuf[src * block + i] != a2a_byte(src + it, me, i))
+            ++failures[me];
+    }
+  });
+  for (int r = 0; r < n; ++r) EXPECT_EQ(failures[r], 0);
+}
+
+TEST(Alltoall, BlockingComparatorCorrect) {
+  for (std::size_t block : {std::size_t{128}, std::size_t{4096},
+                            std::size_t{64 * 1024}}) {
+    const int n = 6;
+    std::vector<std::vector<std::byte>> results(n);
+    t::run_world(kIb, n, [&](mpi::Ctx& ctx) {
+      auto comm = ctx.world().comm_world();
+      const int me = ctx.world_rank();
+      std::vector<std::byte> sbuf(n * block), rbuf(n * block);
+      for (int d = 0; d < n; ++d)
+        for (std::size_t i = 0; i < block; ++i)
+          sbuf[d * block + i] = a2a_byte(me, d, i);
+      coll::blocking_alltoall(ctx, comm, sbuf.data(), rbuf.data(), block);
+      results[me] = rbuf;
+    });
+    for (int d = 0; d < n; ++d)
+      for (int src = 0; src < n; ++src)
+        for (std::size_t i = 0; i < block; ++i)
+          ASSERT_EQ(results[d][src * block + i], a2a_byte(src, d, i));
+  }
+}
+
+// --------------------------------------------------------------- Ibcast
+
+class BcastCorrectness
+    : public ::testing::TestWithParam<std::tuple<int, int, std::size_t>> {};
+
+static std::string bcast_name(
+    const ::testing::TestParamInfo<std::tuple<int, int, std::size_t>>& info) {
+  const int f = std::get<0>(info.param);
+  std::string fs = f == coll::kFanoutBinomial ? "binomial"
+                   : f == 0                   ? "linear"
+                                              : "k" + std::to_string(f);
+  return fs + "_n" + std::to_string(std::get<1>(info.param)) + "_seg" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BcastCorrectness,
+    ::testing::Combine(
+        ::testing::Values(coll::kFanoutLinear, 1, 2, 3, 5,
+                          coll::kFanoutBinomial),
+        ::testing::Values(1, 2, 5, 8, 16, 23),
+        ::testing::Values(std::size_t{0}, std::size_t{1000},
+                          std::size_t{32768})),
+    bcast_name);
+
+TEST_P(BcastCorrectness, EveryoneGetsRootData) {
+  const auto [fanout, n, seg] = GetParam();
+  const std::size_t bytes = 100 * 1000;  // multiple segments at seg=1000
+  const int root = n > 2 ? 2 : 0;
+  std::vector<std::vector<std::byte>> results(n);
+  t::run_world(kIb, n,
+               [&, fanout = fanout, n = n, seg = seg](mpi::Ctx& ctx) {
+                 auto comm = ctx.world().comm_world();
+                 const int me = ctx.world_rank();
+                 std::vector<std::byte> buf =
+                     me == root ? t::make_pattern(root, bytes)
+                                : std::vector<std::byte>(bytes);
+                 nbc::Schedule s = coll::build_ibcast(
+                     me, n, buf.data(), bytes, root, fanout, seg);
+                 nbc::Handle h(ctx, comm, &s, ctx.alloc_nbc_tag());
+                 h.start();
+                 h.wait();
+                 results[me] = buf;
+               });
+  const auto expect = t::make_pattern(root, bytes);
+  for (int r = 0; r < n; ++r) EXPECT_EQ(results[r], expect) << "rank " << r;
+}
+
+TEST(Bcast, TreeShapesAreConsistent) {
+  // parent/children must agree across every fanout and rank count.
+  for (int fanout : {coll::kFanoutLinear, 1, 2, 3, 4, 5,
+                     coll::kFanoutBinomial}) {
+    for (int n : {1, 2, 3, 7, 8, 16, 33}) {
+      std::vector<int> seen(n, 0);
+      for (int v = 0; v < n; ++v) {
+        for (int c : coll::bcast_children(v, n, fanout)) {
+          ASSERT_LT(c, n);
+          ASSERT_GT(c, 0);
+          EXPECT_EQ(coll::bcast_parent(c, n, fanout), v)
+              << "fanout=" << fanout << " n=" << n << " child=" << c;
+          ++seen[c];
+        }
+      }
+      // Every non-root is someone's child exactly once.
+      for (int v = 1; v < n; ++v) EXPECT_EQ(seen[v], 1) << "fanout=" << fanout;
+      EXPECT_EQ(coll::bcast_parent(0, n, fanout), -1);
+    }
+  }
+}
+
+TEST(Bcast, SegmentationControlsRoundCount) {
+  // A chain broadcast of k segments has ~k+1 rounds on interior nodes.
+  const std::size_t bytes = 8 * 1024;
+  int buf_storage[2048];
+  auto s1 = coll::build_ibcast(1, 4, buf_storage, bytes, 0, 1, 0);
+  auto s4 = coll::build_ibcast(1, 4, buf_storage, bytes, 0, 1, 2048);
+  EXPECT_EQ(s1.num_rounds(), 2u);   // recv, send
+  EXPECT_EQ(s4.num_rounds(), 5u);   // 4 segments pipelined
+  EXPECT_EQ(s4.total_send_bytes(), bytes);
+}
+
+// ------------------------------------------------------------ Iallgather
+
+enum class AG { Linear, Ring, RecDbl };
+
+class AllgatherCorrectness
+    : public ::testing::TestWithParam<std::tuple<AG, int>> {};
+
+static std::string ag_name(
+    const ::testing::TestParamInfo<std::tuple<AG, int>>& info) {
+  static const char* names[] = {"linear", "ring", "recdbl"};
+  return std::string(names[int(std::get<0>(info.param))]) + "_n" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllgatherCorrectness,
+                         ::testing::Combine(::testing::Values(AG::Linear,
+                                                              AG::Ring,
+                                                              AG::RecDbl),
+                                            ::testing::Values(2, 3, 4, 7, 8,
+                                                              16)),
+                         ag_name);
+
+TEST_P(AllgatherCorrectness, CollectsEveryBlock) {
+  const auto [algo, n] = GetParam();
+  if (algo == AG::RecDbl && !coll::is_pow2(n)) GTEST_SKIP();
+  const std::size_t block = 600;
+  std::vector<std::vector<std::byte>> results(n);
+  t::run_world(kIb, n, [&, algo = algo, n = n](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    const int me = ctx.world_rank();
+    auto mine = t::make_pattern(me, block);
+    std::vector<std::byte> rbuf(std::size_t(n) * block);
+    nbc::Schedule s;
+    switch (algo) {
+      case AG::Linear:
+        s = coll::build_iallgather_linear(me, n, mine.data(), rbuf.data(),
+                                          block);
+        break;
+      case AG::Ring:
+        s = coll::build_iallgather_ring(me, n, mine.data(), rbuf.data(),
+                                        block);
+        break;
+      case AG::RecDbl:
+        s = coll::build_iallgather_recursive_doubling(
+            me, n, mine.data(), rbuf.data(), block);
+        break;
+    }
+    nbc::Handle h(ctx, comm, &s, ctx.alloc_nbc_tag());
+    h.start();
+    h.wait();
+    results[me] = rbuf;
+  });
+  for (int r = 0; r < n; ++r) {
+    for (int src = 0; src < n; ++src) {
+      const auto expect = t::make_pattern(src, block);
+      ASSERT_TRUE(std::memcmp(results[r].data() + std::size_t(src) * block,
+                              expect.data(), block) == 0)
+          << "rank " << r << " block " << src;
+    }
+  }
+}
+
+TEST(Allgather, RecursiveDoublingRejectsNonPow2) {
+  int x;
+  EXPECT_THROW(
+      coll::build_iallgather_recursive_doubling(0, 6, &x, &x, sizeof x),
+      std::invalid_argument);
+}
+
+// --------------------------------------------------------------- Ireduce
+
+class ReduceCorrectness : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReduceCorrectness,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 8, 16),
+                                            ::testing::Values(0, 1, 2)),
+                         [](const ::testing::TestParamInfo<std::tuple<int, int>>&
+                                info) {
+                           return "n" + std::to_string(std::get<0>(info.param)) +
+                                  "_root" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+TEST_P(ReduceCorrectness, BinomialSumsDoubles) {
+  const auto [n, root_sel] = GetParam();
+  const int root = root_sel % n;
+  const std::size_t count = 1000;
+  std::vector<double> result(count, -1);
+  t::run_world(kIb, n, [&, n = n](mpi::Ctx& ctx) {
+    const int me = ctx.world_rank();
+    std::vector<double> in(count);
+    for (std::size_t i = 0; i < count; ++i) in[i] = me + i * 0.5;
+    std::vector<double> out(me == root ? count : 0);
+    nbc::Schedule s = coll::build_ireduce_binomial(
+        me, n, in.data(), me == root ? out.data() : nullptr, count,
+        nbc::DType::F64, mpi::ReduceOp::Sum, root);
+    nbc::Handle h(ctx, ctx.world().comm_world(), &s, ctx.alloc_nbc_tag());
+    h.start();
+    h.wait();
+    if (me == root) result = out;
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    const double expect = n * (n - 1) / 2.0 + n * (i * 0.5);
+    EXPECT_DOUBLE_EQ(result[i], expect) << i;
+  }
+}
+
+TEST_P(ReduceCorrectness, ChainSegmentedMax) {
+  const auto [n, root_sel] = GetParam();
+  const int root = root_sel % n;
+  const std::size_t count = 777;
+  std::vector<int> result(count, -1);
+  t::run_world(kIb, n, [&, n = n](mpi::Ctx& ctx) {
+    const int me = ctx.world_rank();
+    std::vector<int> in(count);
+    for (std::size_t i = 0; i < count; ++i)
+      in[i] = int((me * 131 + i * 17) % 1000);
+    std::vector<int> out(me == root ? count : 0);
+    nbc::Schedule s = coll::build_ireduce_chain(
+        me, n, in.data(), me == root ? out.data() : nullptr, count,
+        nbc::DType::I32, mpi::ReduceOp::Max, root, /*seg_elems=*/100);
+    nbc::Handle h(ctx, ctx.world().comm_world(), &s, ctx.alloc_nbc_tag());
+    h.start();
+    h.wait();
+    if (me == root) result = out;
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    int expect = 0;
+    for (int r = 0; r < n; ++r)
+      expect = std::max(expect, int((r * 131 + i * 17) % 1000));
+    EXPECT_EQ(result[i], expect) << i;
+  }
+}
+
+// --------------------------------------------------- volume diagnostics
+
+TEST(AlgorithmShape, DataVolumesMatchTheory) {
+  // The tradeoff the paper's Fig. 4 rests on: bruck sends fewer messages
+  // but more bytes; linear/pairwise send n-1 messages of exactly one block.
+  const int n = 16;
+  const std::size_t block = 1000;
+  std::vector<std::byte> sb(n * block), rb(n * block);
+  auto lin = coll::build_ialltoall_linear(3, n, sb.data(), rb.data(), block);
+  auto pw = coll::build_ialltoall_pairwise(3, n, sb.data(), rb.data(), block);
+  auto br = coll::build_ialltoall_bruck(3, n, sb.data(), rb.data(), block);
+  EXPECT_EQ(lin.total_sends(), std::size_t(n - 1));
+  EXPECT_EQ(pw.total_sends(), std::size_t(n - 1));
+  EXPECT_EQ(br.total_sends(), 4u);  // log2(16)
+  EXPECT_EQ(lin.total_send_bytes(), std::size_t(n - 1) * block);
+  EXPECT_EQ(pw.total_send_bytes(), std::size_t(n - 1) * block);
+  EXPECT_EQ(br.total_send_bytes(), std::size_t(n / 2) * block * 4);
+  // Round counts drive progress sensitivity (Fig. 7).
+  EXPECT_EQ(lin.num_rounds(), 1u);
+  EXPECT_EQ(pw.num_rounds(), std::size_t(n));      // copy + n-1 exchanges
+  EXPECT_EQ(br.num_rounds(), 5u);                  // rotate+4 steps
+}

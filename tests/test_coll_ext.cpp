@@ -1,0 +1,341 @@
+// Property tests for the extended collective library: non-blocking
+// allreduce (recursive doubling / reduce+bcast / ring) and the Cartesian
+// neighborhood exchange (all three orderings, periodic and bounded grids,
+// including the tricky size-2 and size-1 dimensions).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "coll/blocking.hpp"
+#include "coll/iallgather.hpp"
+#include "coll/iallreduce.hpp"
+#include "coll/ineighbor.hpp"
+#include "mpi/world.hpp"
+#include "nbc/handle.hpp"
+#include "net/platform.hpp"
+#include "testing_util.hpp"
+
+using namespace nbctune;
+namespace t = nbctune::testing;
+
+namespace {
+const net::Platform kIb = net::whale();
+}
+
+// ------------------------------------------------------------ Iallreduce
+
+enum class AR { RecDbl, ReduceBcast, Ring };
+
+class AllreduceCorrectness
+    : public ::testing::TestWithParam<std::tuple<AR, int, std::size_t>> {};
+
+static std::string ar_name(
+    const ::testing::TestParamInfo<std::tuple<AR, int, std::size_t>>& info) {
+  static const char* names[] = {"recdbl", "redbcast", "ring"};
+  return std::string(names[int(std::get<0>(info.param))]) + "_n" +
+         std::to_string(std::get<1>(info.param)) + "_c" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllreduceCorrectness,
+    ::testing::Combine(::testing::Values(AR::RecDbl, AR::ReduceBcast,
+                                         AR::Ring),
+                       ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16),
+                       ::testing::Values(std::size_t{1}, std::size_t{10},
+                                         std::size_t{1000},
+                                         std::size_t{5000})),
+    ar_name);
+
+TEST_P(AllreduceCorrectness, SumsDoublesEverywhere) {
+  const auto [algo, n, count] = GetParam();
+  if (algo == AR::RecDbl && !coll::is_pow2(n)) GTEST_SKIP();
+  std::vector<std::vector<double>> results(n);
+  t::run_world(kIb, n, [&, algo = algo, n = n, count = count](mpi::Ctx& ctx) {
+    const int me = ctx.world_rank();
+    std::vector<double> in(count), out(count, -1);
+    for (std::size_t i = 0; i < count; ++i) in[i] = (me + 1) * 0.25 + i;
+    nbc::Schedule s;
+    switch (algo) {
+      case AR::RecDbl:
+        s = coll::build_iallreduce_recursive_doubling(
+            me, n, in.data(), out.data(), count, nbc::DType::F64,
+            mpi::ReduceOp::Sum);
+        break;
+      case AR::ReduceBcast:
+        s = coll::build_iallreduce_reduce_bcast(me, n, in.data(), out.data(),
+                                                count, nbc::DType::F64,
+                                                mpi::ReduceOp::Sum);
+        break;
+      case AR::Ring:
+        s = coll::build_iallreduce_ring(me, n, in.data(), out.data(), count,
+                                        nbc::DType::F64, mpi::ReduceOp::Sum);
+        break;
+    }
+    nbc::Handle h(ctx, ctx.world().comm_world(), &s, ctx.alloc_nbc_tag());
+    h.start();
+    h.wait();
+    results[me] = out;
+  });
+  for (int r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const double expect = n * (n + 1) / 2.0 * 0.25 + double(n) * i;
+      ASSERT_DOUBLE_EQ(results[r][i], expect) << "rank " << r << " i " << i;
+    }
+  }
+}
+
+TEST(Allreduce, MaxWithIntsOnRing) {
+  const int n = 7;
+  const std::size_t count = 123;
+  std::vector<std::vector<int>> results(n);
+  t::run_world(kIb, n, [&](mpi::Ctx& ctx) {
+    const int me = ctx.world_rank();
+    std::vector<int> in(count), out(count);
+    for (std::size_t i = 0; i < count; ++i)
+      in[i] = int((me * 97 + i * 31) % 500);
+    nbc::Schedule s = coll::build_iallreduce_ring(
+        me, n, in.data(), out.data(), count, nbc::DType::I32,
+        mpi::ReduceOp::Max);
+    nbc::Handle h(ctx, ctx.world().comm_world(), &s, ctx.alloc_nbc_tag());
+    h.start();
+    h.wait();
+    results[me] = out;
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    int expect = 0;
+    for (int r = 0; r < n; ++r)
+      expect = std::max(expect, int((r * 97 + i * 31) % 500));
+    for (int r = 0; r < n; ++r) ASSERT_EQ(results[r][i], expect);
+  }
+}
+
+TEST(Allreduce, RecursiveDoublingRejectsNonPow2) {
+  double x = 0;
+  EXPECT_THROW(coll::build_iallreduce_recursive_doubling(
+                   0, 6, &x, &x, 1, nbc::DType::F64, mpi::ReduceOp::Sum),
+               std::invalid_argument);
+}
+
+TEST(Allreduce, CountSmallerThanRanks) {
+  // Ring chunking with count < n: some chunks are empty.
+  const int n = 8;
+  const std::size_t count = 3;
+  std::vector<std::vector<double>> results(n);
+  t::run_world(kIb, n, [&](mpi::Ctx& ctx) {
+    const int me = ctx.world_rank();
+    std::vector<double> in{me + 1.0, me + 2.0, me + 3.0}, out(count);
+    nbc::Schedule s = coll::build_iallreduce_ring(
+        me, n, in.data(), out.data(), count, nbc::DType::F64,
+        mpi::ReduceOp::Sum);
+    nbc::Handle h(ctx, ctx.world().comm_world(), &s, ctx.alloc_nbc_tag());
+    h.start();
+    h.wait();
+    results[me] = out;
+  });
+  for (int r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_DOUBLE_EQ(results[r][i], n * (n + 1) / 2.0 + n * double(i));
+    }
+  }
+}
+
+// -------------------------------------------------------------- Topology
+
+TEST(CartTopo, CoordsRoundTrip) {
+  coll::CartTopo topo{{3, 4, 5}, true};
+  EXPECT_EQ(topo.size(), 60);
+  for (int r = 0; r < topo.size(); ++r) {
+    EXPECT_EQ(coll::cart_rank(topo, coll::cart_coords(topo, r)), r);
+  }
+  EXPECT_EQ(coll::cart_coords(topo, 0), (std::vector<int>{0, 0, 0}));
+  EXPECT_EQ(coll::cart_coords(topo, 59), (std::vector<int>{2, 3, 4}));
+}
+
+TEST(CartTopo, NeighborsPeriodicAndBounded) {
+  coll::CartTopo per{{4}, true};
+  EXPECT_EQ(coll::cart_neighbor(per, 0, 0, -1), 3);  // wraparound
+  EXPECT_EQ(coll::cart_neighbor(per, 3, 0, +1), 0);
+  coll::CartTopo bnd{{4}, false};
+  EXPECT_EQ(coll::cart_neighbor(bnd, 0, 0, -1), -1);  // boundary
+  EXPECT_EQ(coll::cart_neighbor(bnd, 3, 0, +1), -1);
+  EXPECT_EQ(coll::cart_neighbor(bnd, 1, 0, +1), 2);
+  EXPECT_THROW(coll::cart_neighbor(bnd, 0, 1, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Ineighbor
+
+namespace {
+
+std::byte halo_byte(int owner, int slot, std::size_t i) {
+  return static_cast<std::byte>((owner * 131 + slot * 17 + int(i)) & 0xff);
+}
+
+enum class NB { AllAtOnce, DimOrdered, EvenOdd };
+
+/// Run a halo exchange on `topo` with the given builder and verify every
+/// halo block equals the face block the corresponding neighbour sent.
+void check_neighbor(const coll::CartTopo& topo, NB flavor) {
+  const int n = topo.size();
+  const std::size_t block = 700;
+  const int slots = 2 * topo.ndims();
+  std::vector<std::vector<std::byte>> results(n);
+  t::run_world(kIb, n, [&](mpi::Ctx& ctx) {
+    const int me = ctx.world_rank();
+    std::vector<std::byte> sbuf(slots * block), rbuf(slots * block,
+                                                     std::byte{0xab});
+    for (int sl = 0; sl < slots; ++sl)
+      for (std::size_t i = 0; i < block; ++i)
+        sbuf[sl * block + i] = halo_byte(me, sl, i);
+    nbc::Schedule s;
+    switch (flavor) {
+      case NB::AllAtOnce:
+        s = coll::build_ineighbor_all_at_once(topo, me, sbuf.data(),
+                                              rbuf.data(), block);
+        break;
+      case NB::DimOrdered:
+        s = coll::build_ineighbor_dimension_ordered(topo, me, sbuf.data(),
+                                                    rbuf.data(), block);
+        break;
+      case NB::EvenOdd:
+        s = coll::build_ineighbor_even_odd(topo, me, sbuf.data(), rbuf.data(),
+                                           block);
+        break;
+    }
+    nbc::Handle h(ctx, ctx.world().comm_world(), &s, ctx.alloc_nbc_tag());
+    h.start();
+    h.wait();
+    results[me] = rbuf;
+  });
+  // My (dim, low) halo must hold my low neighbour's (dim, high) face.
+  for (int r = 0; r < n; ++r) {
+    for (int dim = 0; dim < topo.ndims(); ++dim) {
+      for (int disp : {-1, +1}) {
+        const int nbr = coll::cart_neighbor(topo, r, dim, disp);
+        const int my_slot = 2 * dim + (disp > 0 ? 1 : 0);
+        if (nbr < 0) {
+          for (std::size_t i = 0; i < block; ++i) {
+            ASSERT_EQ(results[r][my_slot * block + i], std::byte{0xab})
+                << "rank " << r << " slot " << my_slot << " not untouched";
+          }
+          continue;
+        }
+        const int nbr_slot = 2 * dim + (disp > 0 ? 0 : 1);  // facing me
+        for (std::size_t i = 0; i < block; ++i) {
+          ASSERT_EQ(results[r][my_slot * block + i],
+                    halo_byte(nbr, nbr_slot, i))
+              << "rank " << r << " dim " << dim << " disp " << disp;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+class NeighborCorrectness : public ::testing::TestWithParam<NB> {};
+
+static std::string nb_name(const ::testing::TestParamInfo<NB>& info) {
+  static const char* names[] = {"all_at_once", "dim_ordered", "even_odd"};
+  return names[int(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavors, NeighborCorrectness,
+                         ::testing::Values(NB::AllAtOnce, NB::DimOrdered,
+                                           NB::EvenOdd),
+                         nb_name);
+
+TEST_P(NeighborCorrectness, Ring1D) {
+  check_neighbor(coll::CartTopo{{8}, true}, GetParam());
+}
+
+TEST_P(NeighborCorrectness, Line1DBounded) {
+  check_neighbor(coll::CartTopo{{6}, false}, GetParam());
+}
+
+TEST_P(NeighborCorrectness, Grid2DPeriodic) {
+  check_neighbor(coll::CartTopo{{4, 4}, true}, GetParam());
+}
+
+TEST_P(NeighborCorrectness, Grid2DOddPeriodic) {
+  check_neighbor(coll::CartTopo{{3, 5}, true}, GetParam());
+}
+
+TEST_P(NeighborCorrectness, Grid2DBounded) {
+  check_neighbor(coll::CartTopo{{4, 3}, false}, GetParam());
+}
+
+TEST_P(NeighborCorrectness, Grid3DMixed) {
+  check_neighbor(coll::CartTopo{{2, 3, 4}, true}, GetParam());
+}
+
+TEST_P(NeighborCorrectness, Size2DimensionSamePeerBothFaces) {
+  // dims = 2 periodic: both faces connect to the same peer; matching
+  // order must still route each face into the right halo slot.
+  check_neighbor(coll::CartTopo{{2, 4}, true}, GetParam());
+}
+
+TEST_P(NeighborCorrectness, Size1DimensionSelfExchange) {
+  // Degenerate periodic dimension: the rank exchanges with itself.
+  check_neighbor(coll::CartTopo{{1, 6}, true}, GetParam());
+}
+
+// ----------------------------------------------- volume diagnostics
+
+TEST(AllreduceShape, DataVolumesMatchTheory) {
+  const int n = 8;
+  const std::size_t count = 8000;  // divisible by n
+  const std::size_t esz = sizeof(double);
+  std::vector<double> in(count), out(count);
+  auto rd = coll::build_iallreduce_recursive_doubling(
+      3, n, in.data(), out.data(), count, nbc::DType::F64,
+      mpi::ReduceOp::Sum);
+  auto ring = coll::build_iallreduce_ring(3, n, in.data(), out.data(), count,
+                                          nbc::DType::F64, mpi::ReduceOp::Sum);
+  // Recursive doubling: log2(n) full-vector exchanges.
+  EXPECT_EQ(rd.total_sends(), 3u);
+  EXPECT_EQ(rd.total_send_bytes(), 3u * count * esz);
+  // Ring: 2(n-1) chunk messages of count/n elements each — the
+  // bandwidth-optimal 2(n-1)/n vector volume.
+  EXPECT_EQ(ring.total_sends(), 2u * (n - 1));
+  EXPECT_EQ(ring.total_send_bytes(), 2u * (n - 1) * (count / n) * esz);
+  // Round counts drive progress-call sensitivity (paper Fig. 7).
+  EXPECT_EQ(rd.num_rounds(), 4u);              // copy + 3 exchanges
+  EXPECT_EQ(ring.num_rounds(), 2u * (n - 1) + 1);
+}
+
+TEST(NeighborShape, RoundStructureMatchesOrdering) {
+  coll::CartTopo topo{{4, 4}, true};
+  std::vector<std::byte> s(4 * 2 * 128), r(4 * 2 * 128);
+  auto once =
+      coll::build_ineighbor_all_at_once(topo, 5, s.data(), r.data(), 128);
+  auto dim = coll::build_ineighbor_dimension_ordered(topo, 5, s.data(),
+                                                     r.data(), 128);
+  auto eo = coll::build_ineighbor_even_odd(topo, 5, s.data(), r.data(), 128);
+  EXPECT_EQ(once.num_rounds(), 1u);   // everything concurrent
+  EXPECT_EQ(dim.num_rounds(), 2u);    // one round per dimension
+  EXPECT_EQ(eo.num_rounds(), 4u);     // two phases per dimension
+  // All move the same data: 4 faces of 128 bytes.
+  for (const auto* sched : {&once, &dim, &eo}) {
+    EXPECT_EQ(sched->total_sends(), 4u);
+    EXPECT_EQ(sched->total_send_bytes(), 4u * 128);
+  }
+}
+
+TEST(BlockingBcastComparator, DeliversRootData) {
+  const int n = 9;
+  const std::size_t bytes = 200 * 1000;
+  std::vector<std::vector<std::byte>> results(n);
+  t::run_world(kIb, n, [&](mpi::Ctx& ctx) {
+    const int me = ctx.world_rank();
+    auto buf = me == 2 ? t::make_pattern(2, bytes)
+                       : std::vector<std::byte>(bytes);
+    coll::blocking_bcast(ctx, ctx.world().comm_world(), buf.data(), bytes, 2);
+    results[me] = buf;
+  });
+  const auto expect = t::make_pattern(2, bytes);
+  for (int r = 0; r < n; ++r) EXPECT_EQ(results[r], expect) << r;
+}

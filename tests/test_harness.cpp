@@ -1,0 +1,191 @@
+// Micro-benchmark harness: accounting identities, fixed-vs-tuned runs,
+// verification-run scoring, and table formatting.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/microbench.hpp"
+#include "harness/table.hpp"
+#include "net/platform.hpp"
+
+using namespace nbctune;
+using namespace nbctune::harness;
+
+namespace {
+MicroScenario tiny_scenario() {
+  MicroScenario s;
+  s.platform = net::whale();
+  s.nprocs = 4;
+  s.op = OpKind::Ialltoall;
+  s.bytes = 1024;
+  s.compute_per_iter = 1e-3;
+  s.iterations = 12;
+  s.progress_calls = 4;
+  s.noise_scale = 0.0;
+  return s;
+}
+}  // namespace
+
+TEST(Microbench, ComputeDominatedLoopTimeIsComputeBound) {
+  // With compute far larger than communication, the loop time must be
+  // close to iterations x compute (full overlap), and never below it.
+  MicroScenario s = tiny_scenario();
+  s.compute_per_iter = 10e-3;
+  auto out = run_fixed(s, 0);
+  const double floor_time = s.iterations * s.compute_per_iter;
+  EXPECT_GE(out.loop_time, floor_time);
+  EXPECT_LT(out.loop_time, floor_time * 1.15);
+}
+
+TEST(Microbench, FixedRunsNameTheImplementation) {
+  MicroScenario s = tiny_scenario();
+  auto fset = scenario_functionset(s);
+  ASSERT_EQ(fset->size(), 3u);
+  EXPECT_EQ(run_fixed(s, 0).impl, "linear");
+  EXPECT_EQ(run_fixed(s, 1).impl, "dissemination");
+  EXPECT_EQ(run_fixed(s, 2).impl, "pairwise");
+  EXPECT_THROW(run_fixed(s, 3), std::invalid_argument);
+}
+
+TEST(Microbench, AdclDecidesWithinLoop) {
+  MicroScenario s = tiny_scenario();
+  adcl::TuningOptions opts;
+  opts.policy = adcl::PolicyKind::BruteForce;
+  opts.tests_per_function = 3;
+  auto out = run_adcl(s, opts);
+  EXPECT_NE(out.impl, "<undecided>");
+  EXPECT_EQ(out.decision_iteration, 9);
+  EXPECT_GT(out.post_decision_iterations, 0);
+  EXPECT_GT(out.post_decision_time, 0.0);
+  EXPECT_LT(out.post_decision_time, out.loop_time);
+}
+
+TEST(Microbench, VerificationRunScoresDecision) {
+  MicroScenario s = tiny_scenario();
+  s.iterations = 20;
+  auto v = run_verification(s, /*tests_per_function=*/4);
+  ASSERT_EQ(v.fixed.size(), 3u);
+  ASSERT_GE(v.best_fixed, 0);
+  // The ADCL winners name real implementations.
+  auto fset = scenario_functionset(s);
+  EXPECT_GE(fset->find_by_name(v.adcl_bruteforce.impl), 0);
+  EXPECT_GE(fset->find_by_name(v.adcl_heuristic.impl), 0);
+  // With noise off, brute force must pick the true best.
+  EXPECT_TRUE(v.bruteforce_correct);
+  // The learning phase makes ADCL slower than (or equal to) the best
+  // fixed implementation, but it must beat the worst by a margin when
+  // implementations differ.
+  double worst = 0;
+  for (const auto& f : v.fixed) worst = std::max(worst, f.loop_time);
+  EXPECT_LE(v.fixed[v.best_fixed].loop_time, v.adcl_bruteforce.loop_time);
+  EXPECT_LE(v.adcl_bruteforce.loop_time, worst * 1.05);
+}
+
+TEST(Microbench, IbcastScenario) {
+  MicroScenario s = tiny_scenario();
+  s.op = OpKind::Ibcast;
+  s.bytes = 64 * 1024;
+  s.nprocs = 8;
+  auto fset = scenario_functionset(s);
+  EXPECT_EQ(fset->size(), 21u);
+  auto out = run_fixed(s, fset->find_by_name("binomial/seg64k"));
+  EXPECT_EQ(out.impl, "binomial/seg64k");
+  EXPECT_GT(out.loop_time, 0.0);
+}
+
+TEST(Microbench, BlockingExtendedSetRuns) {
+  MicroScenario s = tiny_scenario();
+  s.include_blocking = true;
+  s.iterations = 14;
+  adcl::TuningOptions opts;
+  opts.tests_per_function = 2;
+  auto out = run_adcl(s, opts);
+  EXPECT_NE(out.impl, "<undecided>");
+  EXPECT_EQ(out.decision_iteration, 12);  // 6 functions x 2 tests
+}
+
+TEST(Microbench, DeterministicAcrossRuns) {
+  MicroScenario s = tiny_scenario();
+  s.noise_scale = 1.0;
+  s.seed = 7;
+  auto a = run_fixed(s, 1);
+  auto b = run_fixed(s, 1);
+  EXPECT_DOUBLE_EQ(a.loop_time, b.loop_time);
+  s.seed = 8;
+  auto c = run_fixed(s, 1);
+  EXPECT_NE(a.loop_time, c.loop_time);
+}
+
+TEST(Microbench, ZeroProgressCallsStillCompletes) {
+  MicroScenario s = tiny_scenario();
+  s.progress_calls = 0;
+  s.bytes = 64 * 1024;  // rendezvous: all work lands in wait()
+  auto out = run_fixed(s, 2);
+  EXPECT_GT(out.loop_time, s.iterations * s.compute_per_iter);
+}
+
+TEST(TableFormat, AlignsAndCsvs) {
+  Table t({"impl", "time"});
+  t.add_row({"linear", Table::num(1.5, 2)});
+  t.add_row({"pairwise", Table::num(2.0, 2)});
+  std::ostringstream text, csv;
+  t.print(text);
+  t.print_csv(csv);
+  EXPECT_NE(text.str().find("impl"), std::string::npos);
+  EXPECT_NE(text.str().find("-----"), std::string::npos);
+  EXPECT_EQ(csv.str(), "impl,time\nlinear,1.50\npairwise,2.00\n");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+// ------------------------------------------------------- utilization
+
+#include "harness/utilization.hpp"
+#include "mpi/world.hpp"
+#include "net/machine.hpp"
+#include "sim/engine.hpp"
+
+TEST(Utilization, ReportsBusyResources) {
+  sim::Engine engine(1);
+  net::Machine machine(net::whale());
+  mpi::WorldOptions o;
+  o.nprocs = 9;
+  o.noise_scale = 0;
+  mpi::World world(engine, machine, o);
+  world.launch([&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    std::vector<std::byte> buf(64 * 1024);
+    if (ctx.world_rank() == 0) {
+      for (int i = 0; i < 4; ++i) ctx.send(comm, buf.data(), buf.size(), 8, i);
+    } else if (ctx.world_rank() == 8) {
+      for (int i = 0; i < 4; ++i) ctx.recv(comm, buf.data(), buf.size(), 0, i);
+    }
+  });
+  engine.run();
+  auto report = utilization_report(world, engine.now());
+  ASSERT_NE(report.hottest(), nullptr);
+  EXPECT_GT(report.hottest()->busy_fraction, 0.0);
+  EXPECT_LE(report.hottest()->busy_fraction, 1.0);
+  EXPECT_EQ(report.data_messages, 4u);
+  EXPECT_EQ(report.ctrl_messages, 8u);  // 4 rendezvous handshakes
+  // Only resources that actually served traffic appear.
+  for (const auto& u : report.resources) EXPECT_GT(u.reservations, 0u);
+  // The busiest resources are node 0's transmit and node 1's receive NICs.
+  bool saw_tx0 = false;
+  for (const auto& u : report.resources) saw_tx0 |= (u.name == "tx:0:0");
+  EXPECT_TRUE(saw_tx0);
+  std::ostringstream oss;
+  print_utilization(report, 4, oss);
+  EXPECT_NE(oss.str().find("tx:0:0"), std::string::npos);
+}
+
+TEST(Utilization, EmptyWorldEmptyReport) {
+  sim::Engine engine(1);
+  net::Machine machine(net::whale());
+  mpi::WorldOptions o;
+  o.nprocs = 2;
+  mpi::World world(engine, machine, o);
+  auto report = utilization_report(world, 0.0);
+  EXPECT_EQ(report.hottest(), nullptr);
+  EXPECT_EQ(report.data_messages, 0u);
+}

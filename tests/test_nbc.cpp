@@ -1,0 +1,290 @@
+// Schedule engine semantics: round barriers, one-communication-round-per-
+// progress-pass, restartability, rebinding, local-only rounds.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mpi/world.hpp"
+#include "nbc/handle.hpp"
+#include "nbc/schedule.hpp"
+#include "net/platform.hpp"
+#include "testing_util.hpp"
+
+using namespace nbctune;
+namespace t = nbctune::testing;
+
+namespace {
+const net::Platform kIb = net::whale();
+}
+
+TEST(Schedule, BuilderFormsRounds) {
+  nbc::Schedule s;
+  int x = 0;
+  s.send(&x, 4, 1);
+  s.recv(&x, 4, 1);
+  s.barrier();
+  s.copy(&x, &x, 4);
+  s.barrier();
+  s.barrier();  // double barrier must not create an empty round
+  s.send(&x, 4, 2);
+  s.finalize();
+  ASSERT_EQ(s.num_rounds(), 3u);
+  EXPECT_EQ(s.round(0).size(), 2u);
+  EXPECT_EQ(s.round(1).size(), 1u);
+  EXPECT_EQ(s.round(2).size(), 1u);
+  EXPECT_EQ(s.total_sends(), 2u);
+  EXPECT_EQ(s.total_send_bytes(), 8u);
+}
+
+TEST(Schedule, FinalizeDropsTrailingEmptyRound) {
+  nbc::Schedule s;
+  int x = 0;
+  s.send(&x, 4, 0);
+  s.barrier();
+  s.finalize();
+  EXPECT_EQ(s.num_rounds(), 1u);
+}
+
+TEST(Handle, EmptyScheduleIsImmediatelyDone) {
+  t::run_world(kIb, 1, [&](mpi::Ctx& ctx) {
+    nbc::Schedule s;
+    s.finalize();
+    // A schedule with one empty round (no actions at all).
+    nbc::Handle h(ctx, ctx.world().comm_world(), &s, ctx.world().comm_world().context() + (1 << 20));
+    h.start();
+    EXPECT_TRUE(h.done());
+    h.wait();  // returns immediately
+  });
+}
+
+TEST(Handle, LocalOnlyRoundsCompleteAtStart) {
+  std::vector<int> dst(4, 0);
+  t::run_world(kIb, 1, [&](mpi::Ctx& ctx) {
+    std::vector<int> src{1, 2, 3, 4};
+    nbc::Schedule s;
+    s.copy(src.data(), dst.data(), 2 * sizeof(int));
+    s.barrier();
+    s.copy(src.data() + 2, dst.data() + 2, 2 * sizeof(int));
+    s.finalize();
+    nbc::Handle h(ctx, ctx.world().comm_world(), &s, 1 << 20);
+    h.start();
+    EXPECT_TRUE(h.done());
+  });
+  EXPECT_EQ(dst, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Handle, RoundBarrierOrdersMessages) {
+  // Rank 0's schedule: send A to 1, barrier, send B to 1.  Rank 1 receives
+  // both; B must carry the value A's round completed with.
+  int got_a = 0, got_b = 0;
+  t::run_world(kIb, 2, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    const int tag = 1 << 20;
+    if (ctx.world_rank() == 0) {
+      int a = 10, b = 20;
+      nbc::Schedule s;
+      s.send(&a, sizeof a, 1);
+      s.barrier();
+      s.send(&b, sizeof b, 1);
+      s.finalize();
+      nbc::Handle h(ctx, comm, &s, tag);
+      h.start();
+      h.wait();
+    } else {
+      nbc::Schedule s;
+      s.recv(&got_a, sizeof got_a, 0);
+      s.barrier();
+      s.recv(&got_b, sizeof got_b, 0);
+      s.finalize();
+      nbc::Handle h(ctx, comm, &s, tag);
+      h.start();
+      h.wait();
+    }
+  });
+  EXPECT_EQ(got_a, 10);
+  EXPECT_EQ(got_b, 20);
+}
+
+TEST(Handle, MultiRoundNeedsMultiplePokes) {
+  // A k-round ping schedule on the sender side advances at most one
+  // communication round per progress pass.
+  const int kRounds = 4;
+  std::vector<double> completion_rounds;
+  t::run_world(kIb, 9, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    const int tag = 1 << 20;
+    std::vector<int> vals(kRounds, 7);
+    if (ctx.world_rank() == 0) {
+      nbc::Schedule s;
+      for (int r = 0; r < kRounds; ++r) {
+        s.send(&vals[r], sizeof(int), 8);
+        s.barrier();
+      }
+      s.finalize();
+      nbc::Handle h(ctx, comm, &s, tag);
+      h.start();
+      // Sends are eager: each round completes quickly on the NIC, but the
+      // NEXT round is only posted by a progress pass.
+      int pokes = 0;
+      while (!h.done()) {
+        ctx.compute(1e-4);
+        ctx.progress();
+        ++pokes;
+      }
+      EXPECT_GE(pokes, kRounds - 1);
+      completion_rounds.push_back(h.rounds_completed());
+    } else if (ctx.world_rank() == 8) {
+      nbc::Schedule s;
+      for (int r = 0; r < kRounds; ++r) {
+        s.recv(&vals[r], sizeof(int), 0);
+        s.barrier();
+      }
+      s.finalize();
+      nbc::Handle h(ctx, comm, &s, tag);
+      h.start();
+      h.wait();
+      for (int r = 0; r < kRounds; ++r) EXPECT_EQ(vals[r], 7);
+    }
+  });
+}
+
+TEST(Handle, RestartRunsAgain) {
+  int received = 0;
+  t::run_world(kIb, 2, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    const int tag = 1 << 20;
+    int buf = 0;
+    nbc::Schedule s;
+    if (ctx.world_rank() == 0) {
+      s.send(&buf, sizeof buf, 1);
+    } else {
+      s.recv(&buf, sizeof buf, 0);
+    }
+    s.finalize();
+    nbc::Handle h(ctx, comm, &s, tag);
+    for (int it = 0; it < 5; ++it) {
+      if (ctx.world_rank() == 0) buf = 100 + it;
+      h.start();
+      h.wait();
+      if (ctx.world_rank() == 1) {
+        EXPECT_EQ(buf, 100 + it);
+        ++received;
+      }
+    }
+  });
+  EXPECT_EQ(received, 5);
+}
+
+TEST(Handle, StartWhileActiveThrows) {
+  t::run_world(kIb, 2, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    const int tag = 1 << 20;
+    int buf = 0;
+    nbc::Schedule s;
+    if (ctx.world_rank() == 0) {
+      s.send(&buf, sizeof buf, 1);
+    } else {
+      s.recv(&buf, sizeof buf, 0);
+    }
+    s.finalize();
+    nbc::Handle h(ctx, comm, &s, tag);
+    h.start();
+    if (!h.done()) {
+      EXPECT_THROW(h.start(), std::logic_error);
+      EXPECT_THROW(h.rebind(&s), std::logic_error);
+    }
+    h.wait();
+  });
+}
+
+TEST(Handle, RebindSwitchesSchedule) {
+  int got1 = 0, got2 = 0;
+  t::run_world(kIb, 2, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    const int tag = 1 << 20;
+    int a = 11, b = 22;
+    nbc::Schedule s1, s2;
+    if (ctx.world_rank() == 0) {
+      s1.send(&a, sizeof a, 1);
+      s2.send(&b, sizeof b, 1);
+    } else {
+      s1.recv(&got1, sizeof got1, 0);
+      s2.recv(&got2, sizeof got2, 0);
+    }
+    s1.finalize();
+    s2.finalize();
+    nbc::Handle h(ctx, comm, &s1, tag);
+    h.start();
+    h.wait();
+    h.rebind(&s2);
+    h.start();
+    h.wait();
+  });
+  EXPECT_EQ(got1, 11);
+  EXPECT_EQ(got2, 22);
+}
+
+TEST(Handle, TestPollsWithoutBlocking) {
+  t::run_world(kIb, 9, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    const int tag = 1 << 20;
+    std::vector<std::byte> buf(64);
+    nbc::Schedule s;
+    if (ctx.world_rank() == 0) {
+      s.send(buf.data(), buf.size(), 8);
+      s.finalize();
+      nbc::Handle h(ctx, comm, &s, tag);
+      h.start();
+      while (!h.test()) ctx.compute(1e-6);
+      EXPECT_TRUE(h.done());
+    } else if (ctx.world_rank() == 8) {
+      s.recv(buf.data(), buf.size(), 0);
+      s.finalize();
+      nbc::Handle h(ctx, comm, &s, tag);
+      h.start();
+      // First test at t=0 cannot see a message that needs wire latency.
+      EXPECT_FALSE(h.test());
+      while (!h.test()) ctx.compute(1e-6);
+    }
+  });
+}
+
+TEST(Handle, ConcurrentOperationsWithDistinctTags) {
+  // Two outstanding operations between the same pair must not cross-match.
+  int first = 0, second = 0;
+  t::run_world(kIb, 2, [&](mpi::Ctx& ctx) {
+    auto comm = ctx.world().comm_world();
+    int a = 1, b = 2;
+    nbc::Schedule sa, sb;
+    if (ctx.world_rank() == 0) {
+      sa.send(&a, sizeof a, 1);
+      sb.send(&b, sizeof b, 1);
+    } else {
+      // Post the "b" operation first: without tag isolation a would land
+      // in it.
+      sb.recv(&second, sizeof second, 0);
+      sa.recv(&first, sizeof first, 0);
+    }
+    sa.finalize();
+    sb.finalize();
+    const int tag_a = ctx.alloc_nbc_tag();
+    const int tag_b = ctx.alloc_nbc_tag();
+    nbc::Handle ha(ctx, comm, &sa, tag_a);
+    nbc::Handle hb(ctx, comm, &sb, tag_b);
+    if (ctx.world_rank() == 1) {
+      hb.start();
+      ha.start();
+      ha.wait();
+      hb.wait();
+    } else {
+      ha.start();
+      hb.start();
+      ha.wait();
+      hb.wait();
+    }
+  });
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+}

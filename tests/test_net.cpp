@@ -1,0 +1,88 @@
+// Unit tests for platform presets and the machine topology model.
+
+#include <gtest/gtest.h>
+
+#include "net/machine.hpp"
+#include "net/platform.hpp"
+
+namespace net = nbctune::net;
+
+TEST(Platform, PresetsAreSane) {
+  for (const auto* name : {"crill", "whale", "whale-tcp", "bgp"}) {
+    net::Platform p = net::platform_by_name(name);
+    EXPECT_GT(p.nodes, 0) << name;
+    EXPECT_GT(p.cores_per_node, 0) << name;
+    EXPECT_GT(p.nics_per_node, 0) << name;
+    EXPECT_GT(p.inter.latency, 0.0) << name;
+    EXPECT_GT(p.inter.byte_time, 0.0) << name;
+    EXPECT_GT(p.intra.byte_time, 0.0) << name;
+    EXPECT_GT(p.eager_limit, 0u) << name;
+    EXPECT_GT(p.copy_byte_time, 0.0) << name;
+    EXPECT_GT(p.flops_per_sec, 0.0) << name;
+    // Intra-node must be faster than the network in both latency and bw.
+    EXPECT_LT(p.intra.latency, p.inter.latency) << name;
+    EXPECT_LT(p.intra.byte_time, p.inter.byte_time) << name;
+  }
+}
+
+TEST(Platform, UnknownNameThrows) {
+  EXPECT_THROW(net::platform_by_name("quantum9000"), std::invalid_argument);
+}
+
+TEST(Platform, PaperScales) {
+  EXPECT_EQ(net::crill().total_cores(), 768);   // 16 x 48
+  EXPECT_EQ(net::whale().total_cores(), 512);   // 64 x 8
+  EXPECT_EQ(net::bluegene_p().total_cores(), 1024);
+  EXPECT_EQ(net::crill().nics_per_node, 2);
+  EXPECT_EQ(net::whale().nics_per_node, 1);
+}
+
+TEST(Platform, TcpIsCpuDriven) {
+  EXPECT_FALSE(net::whale().cpu_driven_bulk);
+  EXPECT_TRUE(net::whale_tcp().cpu_driven_bulk);
+  // GigE: orders of magnitude slower per byte, much higher latency.
+  EXPECT_GT(net::whale_tcp().inter.byte_time, 5 * net::whale().inter.byte_time);
+  EXPECT_GT(net::whale_tcp().inter.latency, 5 * net::whale().inter.latency);
+}
+
+TEST(Machine, TorusHops) {
+  net::Machine m(net::bluegene_p());
+  // 8 x 8 x 4 torus.
+  EXPECT_EQ(m.torus_hops(0, 0), 0);
+  EXPECT_EQ(m.torus_hops(0, 1), 1);     // +1 in x
+  EXPECT_EQ(m.torus_hops(0, 7), 1);     // wraparound in x
+  EXPECT_EQ(m.torus_hops(0, 8), 1);     // +1 in y
+  EXPECT_EQ(m.torus_hops(0, 64), 1);    // +1 in z
+  EXPECT_EQ(m.torus_hops(0, 4 + 8 * 4 + 64 * 2), 4 + 4 + 2);  // farthest
+}
+
+TEST(Machine, NonTorusHasNoHops) {
+  net::Machine m(net::whale());
+  EXPECT_EQ(m.torus_hops(0, 63), 0);
+  EXPECT_DOUBLE_EQ(m.latency(0, 1), net::whale().inter.latency);
+  EXPECT_DOUBLE_EQ(m.latency(3, 3), net::whale().intra.latency);
+}
+
+TEST(Machine, TorusLatencyGrowsWithDistance) {
+  net::Machine m(net::bluegene_p());
+  EXPECT_LT(m.latency(0, 1), m.latency(0, 4));
+  EXPECT_DOUBLE_EQ(m.latency(0, 1),
+                   net::bluegene_p().inter.latency +
+                       net::bluegene_p().hop_latency);
+}
+
+TEST(Machine, NicStripingSpreadsPeers) {
+  net::Machine m(net::crill());  // 2 HCAs
+  EXPECT_NE(m.nic_for(0, 1), m.nic_for(0, 2));
+  EXPECT_EQ(m.nic_for(0, 1), m.nic_for(0, 3));  // consistent per peer
+}
+
+TEST(Machine, ResourcesAreDistinct) {
+  net::Machine m(net::crill());
+  m.nic_tx(0, 0).reserve(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.nic_tx(0, 1).available_at(), 0.0);
+  EXPECT_DOUBLE_EQ(m.nic_tx(1, 0).available_at(), 0.0);
+  EXPECT_DOUBLE_EQ(m.nic_rx(0, 0).available_at(), 0.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.nic_tx(0, 0).available_at(), 0.0);
+}

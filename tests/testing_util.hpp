@@ -1,0 +1,59 @@
+#pragma once
+
+// Shared helpers for tests: spin up a world, run a program on every rank,
+// and return per-rank results.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "mpi/world.hpp"
+#include "net/machine.hpp"
+#include "net/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace nbctune::testing {
+
+struct RunResult {
+  double end_time = 0.0;                 // simulated completion time
+  std::vector<double> rank_end_times;    // per-rank program end
+};
+
+/// Run `program` on `nprocs` ranks of `platform`; noise disabled by
+/// default so cost assertions are exact.
+inline RunResult run_world(const net::Platform& platform, int nprocs,
+                           const std::function<void(mpi::Ctx&)>& program,
+                           double noise_scale = 0.0,
+                           std::uint64_t seed = 1) {
+  sim::Engine engine(seed);
+  net::Machine machine(platform);
+  mpi::WorldOptions opts;
+  opts.nprocs = nprocs;
+  opts.noise_scale = noise_scale;
+  opts.seed = seed;
+  mpi::World world(engine, machine, opts);
+  RunResult result;
+  result.rank_end_times.resize(nprocs, 0.0);
+  world.launch([&](mpi::Ctx& ctx) {
+    program(ctx);
+    result.rank_end_times[ctx.world_rank()] = ctx.now();
+  });
+  engine.run();
+  result.end_time = engine.now();
+  return result;
+}
+
+/// Deterministic per-(rank, index) payload byte for data-integrity checks.
+inline std::byte pattern_byte(int rank, std::size_t i) {
+  return static_cast<std::byte>((rank * 131 + i * 7 + 13) & 0xff);
+}
+
+inline std::vector<std::byte> make_pattern(int rank, std::size_t n) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = pattern_byte(rank, i);
+  return v;
+}
+
+}  // namespace nbctune::testing
