@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_progress.dir/bench_ablation_progress.cpp.o"
+  "CMakeFiles/bench_ablation_progress.dir/bench_ablation_progress.cpp.o.d"
+  "bench_ablation_progress"
+  "bench_ablation_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

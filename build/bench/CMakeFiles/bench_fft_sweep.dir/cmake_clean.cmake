@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fft_sweep.dir/bench_fft_sweep.cpp.o"
+  "CMakeFiles/bench_fft_sweep.dir/bench_fft_sweep.cpp.o.d"
+  "bench_fft_sweep"
+  "bench_fft_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fft_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_fft_extended.dir/bench_fig11_fft_extended.cpp.o"
+  "CMakeFiles/bench_fig11_fft_extended.dir/bench_fig11_fft_extended.cpp.o.d"
+  "bench_fig11_fft_extended"
+  "bench_fig11_fft_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_fft_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

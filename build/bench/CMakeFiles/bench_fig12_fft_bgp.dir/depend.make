@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_fft_bgp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_nprocs.dir/bench_fig5_nprocs.cpp.o"
+  "CMakeFiles/bench_fig5_nprocs.dir/bench_fig5_nprocs.cpp.o.d"
+  "bench_fig5_nprocs"
+  "bench_fig5_nprocs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_nprocs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

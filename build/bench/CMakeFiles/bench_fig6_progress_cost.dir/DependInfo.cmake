@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_progress_cost.cpp" "bench/CMakeFiles/bench_fig6_progress_cost.dir/bench_fig6_progress_cost.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_progress_cost.dir/bench_fig6_progress_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/nbctune_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/adcl/CMakeFiles/nbctune_adcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/nbctune_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbc/CMakeFiles/nbctune_nbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/nbctune_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nbctune_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbctune_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

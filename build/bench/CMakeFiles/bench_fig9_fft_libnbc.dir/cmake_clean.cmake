@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_fft_libnbc.dir/bench_fig9_fft_libnbc.cpp.o"
+  "CMakeFiles/bench_fig9_fft_libnbc.dir/bench_fig9_fft_libnbc.cpp.o.d"
+  "bench_fig9_fft_libnbc"
+  "bench_fig9_fft_libnbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_fft_libnbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verification_sweep.dir/bench_verification_sweep.cpp.o"
+  "CMakeFiles/bench_verification_sweep.dir/bench_verification_sweep.cpp.o.d"
+  "bench_verification_sweep"
+  "bench_verification_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verification_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allreduce_overlap.dir/allreduce_overlap.cpp.o"
+  "CMakeFiles/allreduce_overlap.dir/allreduce_overlap.cpp.o.d"
+  "allreduce_overlap"
+  "allreduce_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allreduce_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_functionset.dir/custom_functionset.cpp.o"
+  "CMakeFiles/custom_functionset.dir/custom_functionset.cpp.o.d"
+  "custom_functionset"
+  "custom_functionset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_functionset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

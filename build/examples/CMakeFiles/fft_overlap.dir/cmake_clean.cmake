@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_overlap.dir/fft_overlap.cpp.o"
+  "CMakeFiles/fft_overlap.dir/fft_overlap.cpp.o.d"
+  "fft_overlap"
+  "fft_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/historic_learning.dir/historic_learning.cpp.o"
+  "CMakeFiles/historic_learning.dir/historic_learning.cpp.o.d"
+  "historic_learning"
+  "historic_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/historic_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

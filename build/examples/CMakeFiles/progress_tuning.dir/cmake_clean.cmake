@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progress_tuning.dir/progress_tuning.cpp.o"
+  "CMakeFiles/progress_tuning.dir/progress_tuning.cpp.o.d"
+  "progress_tuning"
+  "progress_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progress_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

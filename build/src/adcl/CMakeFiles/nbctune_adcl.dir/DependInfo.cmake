@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adcl/api.cpp" "src/adcl/CMakeFiles/nbctune_adcl.dir/api.cpp.o" "gcc" "src/adcl/CMakeFiles/nbctune_adcl.dir/api.cpp.o.d"
+  "/root/repo/src/adcl/filtering.cpp" "src/adcl/CMakeFiles/nbctune_adcl.dir/filtering.cpp.o" "gcc" "src/adcl/CMakeFiles/nbctune_adcl.dir/filtering.cpp.o.d"
+  "/root/repo/src/adcl/functionsets.cpp" "src/adcl/CMakeFiles/nbctune_adcl.dir/functionsets.cpp.o" "gcc" "src/adcl/CMakeFiles/nbctune_adcl.dir/functionsets.cpp.o.d"
+  "/root/repo/src/adcl/history.cpp" "src/adcl/CMakeFiles/nbctune_adcl.dir/history.cpp.o" "gcc" "src/adcl/CMakeFiles/nbctune_adcl.dir/history.cpp.o.d"
+  "/root/repo/src/adcl/request.cpp" "src/adcl/CMakeFiles/nbctune_adcl.dir/request.cpp.o" "gcc" "src/adcl/CMakeFiles/nbctune_adcl.dir/request.cpp.o.d"
+  "/root/repo/src/adcl/selection.cpp" "src/adcl/CMakeFiles/nbctune_adcl.dir/selection.cpp.o" "gcc" "src/adcl/CMakeFiles/nbctune_adcl.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coll/CMakeFiles/nbctune_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbc/CMakeFiles/nbctune_nbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/nbctune_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nbctune_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbctune_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

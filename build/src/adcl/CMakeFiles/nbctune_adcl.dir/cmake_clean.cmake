@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbctune_adcl.dir/api.cpp.o"
+  "CMakeFiles/nbctune_adcl.dir/api.cpp.o.d"
+  "CMakeFiles/nbctune_adcl.dir/filtering.cpp.o"
+  "CMakeFiles/nbctune_adcl.dir/filtering.cpp.o.d"
+  "CMakeFiles/nbctune_adcl.dir/functionsets.cpp.o"
+  "CMakeFiles/nbctune_adcl.dir/functionsets.cpp.o.d"
+  "CMakeFiles/nbctune_adcl.dir/history.cpp.o"
+  "CMakeFiles/nbctune_adcl.dir/history.cpp.o.d"
+  "CMakeFiles/nbctune_adcl.dir/request.cpp.o"
+  "CMakeFiles/nbctune_adcl.dir/request.cpp.o.d"
+  "CMakeFiles/nbctune_adcl.dir/selection.cpp.o"
+  "CMakeFiles/nbctune_adcl.dir/selection.cpp.o.d"
+  "libnbctune_adcl.a"
+  "libnbctune_adcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbctune_adcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

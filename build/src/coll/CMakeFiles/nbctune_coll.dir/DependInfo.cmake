@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/blocking.cpp" "src/coll/CMakeFiles/nbctune_coll.dir/blocking.cpp.o" "gcc" "src/coll/CMakeFiles/nbctune_coll.dir/blocking.cpp.o.d"
+  "/root/repo/src/coll/iallgather.cpp" "src/coll/CMakeFiles/nbctune_coll.dir/iallgather.cpp.o" "gcc" "src/coll/CMakeFiles/nbctune_coll.dir/iallgather.cpp.o.d"
+  "/root/repo/src/coll/iallreduce.cpp" "src/coll/CMakeFiles/nbctune_coll.dir/iallreduce.cpp.o" "gcc" "src/coll/CMakeFiles/nbctune_coll.dir/iallreduce.cpp.o.d"
+  "/root/repo/src/coll/ialltoall.cpp" "src/coll/CMakeFiles/nbctune_coll.dir/ialltoall.cpp.o" "gcc" "src/coll/CMakeFiles/nbctune_coll.dir/ialltoall.cpp.o.d"
+  "/root/repo/src/coll/ibcast.cpp" "src/coll/CMakeFiles/nbctune_coll.dir/ibcast.cpp.o" "gcc" "src/coll/CMakeFiles/nbctune_coll.dir/ibcast.cpp.o.d"
+  "/root/repo/src/coll/ineighbor.cpp" "src/coll/CMakeFiles/nbctune_coll.dir/ineighbor.cpp.o" "gcc" "src/coll/CMakeFiles/nbctune_coll.dir/ineighbor.cpp.o.d"
+  "/root/repo/src/coll/ireduce.cpp" "src/coll/CMakeFiles/nbctune_coll.dir/ireduce.cpp.o" "gcc" "src/coll/CMakeFiles/nbctune_coll.dir/ireduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nbc/CMakeFiles/nbctune_nbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/nbctune_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nbctune_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbctune_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbctune_coll.dir/blocking.cpp.o"
+  "CMakeFiles/nbctune_coll.dir/blocking.cpp.o.d"
+  "CMakeFiles/nbctune_coll.dir/iallgather.cpp.o"
+  "CMakeFiles/nbctune_coll.dir/iallgather.cpp.o.d"
+  "CMakeFiles/nbctune_coll.dir/iallreduce.cpp.o"
+  "CMakeFiles/nbctune_coll.dir/iallreduce.cpp.o.d"
+  "CMakeFiles/nbctune_coll.dir/ialltoall.cpp.o"
+  "CMakeFiles/nbctune_coll.dir/ialltoall.cpp.o.d"
+  "CMakeFiles/nbctune_coll.dir/ibcast.cpp.o"
+  "CMakeFiles/nbctune_coll.dir/ibcast.cpp.o.d"
+  "CMakeFiles/nbctune_coll.dir/ineighbor.cpp.o"
+  "CMakeFiles/nbctune_coll.dir/ineighbor.cpp.o.d"
+  "CMakeFiles/nbctune_coll.dir/ireduce.cpp.o"
+  "CMakeFiles/nbctune_coll.dir/ireduce.cpp.o.d"
+  "libnbctune_coll.a"
+  "libnbctune_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbctune_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbctune_fft.dir/fft1d.cpp.o"
+  "CMakeFiles/nbctune_fft.dir/fft1d.cpp.o.d"
+  "CMakeFiles/nbctune_fft.dir/fft3d.cpp.o"
+  "CMakeFiles/nbctune_fft.dir/fft3d.cpp.o.d"
+  "libnbctune_fft.a"
+  "libnbctune_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbctune_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbctune_harness.dir/microbench.cpp.o"
+  "CMakeFiles/nbctune_harness.dir/microbench.cpp.o.d"
+  "CMakeFiles/nbctune_harness.dir/table.cpp.o"
+  "CMakeFiles/nbctune_harness.dir/table.cpp.o.d"
+  "CMakeFiles/nbctune_harness.dir/utilization.cpp.o"
+  "CMakeFiles/nbctune_harness.dir/utilization.cpp.o.d"
+  "libnbctune_harness.a"
+  "libnbctune_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbctune_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

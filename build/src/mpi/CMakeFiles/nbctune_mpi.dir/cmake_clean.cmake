@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbctune_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/nbctune_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/nbctune_mpi.dir/world.cpp.o"
+  "CMakeFiles/nbctune_mpi.dir/world.cpp.o.d"
+  "libnbctune_mpi.a"
+  "libnbctune_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbctune_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

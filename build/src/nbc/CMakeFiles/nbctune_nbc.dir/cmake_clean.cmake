@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbctune_nbc.dir/handle.cpp.o"
+  "CMakeFiles/nbctune_nbc.dir/handle.cpp.o.d"
+  "libnbctune_nbc.a"
+  "libnbctune_nbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbctune_nbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbctune_net.dir/machine.cpp.o"
+  "CMakeFiles/nbctune_net.dir/machine.cpp.o.d"
+  "CMakeFiles/nbctune_net.dir/platform.cpp.o"
+  "CMakeFiles/nbctune_net.dir/platform.cpp.o.d"
+  "libnbctune_net.a"
+  "libnbctune_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbctune_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbctune_sim.dir/engine.cpp.o"
+  "CMakeFiles/nbctune_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/nbctune_sim.dir/fiber.cpp.o"
+  "CMakeFiles/nbctune_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/nbctune_sim.dir/random.cpp.o"
+  "CMakeFiles/nbctune_sim.dir/random.cpp.o.d"
+  "libnbctune_sim.a"
+  "libnbctune_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbctune_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adcl_ext.dir/test_adcl_ext.cpp.o"
+  "CMakeFiles/test_adcl_ext.dir/test_adcl_ext.cpp.o.d"
+  "test_adcl_ext"
+  "test_adcl_ext.pdb"
+  "test_adcl_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adcl_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adcl_request.dir/test_adcl_request.cpp.o"
+  "CMakeFiles/test_adcl_request.dir/test_adcl_request.cpp.o.d"
+  "test_adcl_request"
+  "test_adcl_request.pdb"
+  "test_adcl_request[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adcl_request.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

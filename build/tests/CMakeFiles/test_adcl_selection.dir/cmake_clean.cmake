@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adcl_selection.dir/test_adcl_selection.cpp.o"
+  "CMakeFiles/test_adcl_selection.dir/test_adcl_selection.cpp.o.d"
+  "test_adcl_selection"
+  "test_adcl_selection.pdb"
+  "test_adcl_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adcl_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll_ext.dir/test_coll_ext.cpp.o"
+  "CMakeFiles/test_coll_ext.dir/test_coll_ext.cpp.o.d"
+  "test_coll_ext"
+  "test_coll_ext.pdb"
+  "test_coll_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

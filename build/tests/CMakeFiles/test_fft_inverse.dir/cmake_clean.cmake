@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft_inverse.dir/test_fft_inverse.cpp.o"
+  "CMakeFiles/test_fft_inverse.dir/test_fft_inverse.cpp.o.d"
+  "test_fft_inverse"
+  "test_fft_inverse.pdb"
+  "test_fft_inverse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft_inverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_extra.dir/test_mpi_extra.cpp.o"
+  "CMakeFiles/test_mpi_extra.dir/test_mpi_extra.cpp.o.d"
+  "test_mpi_extra"
+  "test_mpi_extra.pdb"
+  "test_mpi_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nbc.dir/test_nbc.cpp.o"
+  "CMakeFiles/test_nbc.dir/test_nbc.cpp.o.d"
+  "test_nbc"
+  "test_nbc.pdb"
+  "test_nbc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_pt2pt[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_nbc[1]_include.cmake")
+include("/root/repo/build/tests/test_coll[1]_include.cmake")
+include("/root/repo/build/tests/test_adcl_selection[1]_include.cmake")
+include("/root/repo/build/tests/test_adcl_request[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_coll_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_adcl_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_infra[1]_include.cmake")
+include("/root/repo/build/tests/test_fft_inverse[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_extra[1]_include.cmake")
