@@ -34,28 +34,31 @@ MicroScenario close_race_scenario(double outlier_prob) {
   return s;
 }
 
-int run_sweep(adcl::FilterKind filter, double outlier_prob, int reps,
-              int* correct, const std::vector<double>& fixed_times,
-              double best) {
-  int total = 0;
+int run_sweep(harness::ScenarioPool& pool, adcl::FilterKind filter,
+              double outlier_prob, int reps, int* correct,
+              const std::vector<double>& fixed_times, double best) {
   *correct = 0;
-  MicroScenario s = close_race_scenario(outlier_prob);
-  auto fset = scenario_functionset(s);
-  for (int rep = 0; rep < reps; ++rep) {
+  MicroScenario base = close_race_scenario(outlier_prob);
+  auto fset = scenario_functionset(base);
+  // Each repetition has its own seed and engine: one pool task per rep.
+  std::vector<RunOutcome> outs(static_cast<std::size_t>(reps));
+  pool.run_indexed(outs.size(), [&](std::size_t rep) {
+    MicroScenario s = base;
     s.noise_scale = 1.0;
     s.seed = 1000 + rep;
     adcl::TuningOptions opts;
     opts.policy = adcl::PolicyKind::BruteForce;
     opts.tests_per_function = 5;
     opts.filter = filter;
-    const auto out = run_adcl(s, opts);
-    ++total;
+    outs[rep] = run_adcl(s, opts);
+  });
+  for (const auto& out : outs) {
     // Correct = the chosen implementation is within 2% of the true best
     // (tight: the point is distinguishing close competitors).
     const int chosen = fset->find_by_name(out.impl);
     if (chosen >= 0 && fixed_times[chosen] <= best * 1.02) ++(*correct);
   }
-  return total;
+  return reps;
 }
 }  // namespace
 
@@ -65,16 +68,18 @@ int main(int argc, char** argv) {
       "Ablation: decision accuracy with statistical filtering on/off "
       "under amplified OS noise");
   const int reps = scale.full ? 40 : 15;
+  ScenarioPool pool(scale.threads);
   // Ground truth once: a noise-free fixed sweep of the scenario.
   MicroScenario clean = close_race_scenario(0.0);
   clean.noise_scale = 0.0;
-  std::vector<double> fixed_times;
+  std::vector<double> fixed_times(3);
+  pool.run_indexed(fixed_times.size(), [&](std::size_t f) {
+    fixed_times[f] = run_fixed(clean, static_cast<int>(f)).loop_time;
+  });
   double best = 1e300;
-  for (int f = 0; f < 3; ++f) {
-    fixed_times.push_back(run_fixed(clean, f).loop_time);
-    best = std::min(best, fixed_times.back());
-  }
+  for (double ft : fixed_times) best = std::min(best, ft);
   harness::Table t({"outlier_prob", "filter", "correct", "rate"});
+  bench::SweepTimer timer("filtering ablation", pool.threads());
   for (double prob : {0.0002, 0.001, 0.004}) {
     for (auto [filter, name] :
          {std::pair{adcl::FilterKind::None, "none"},
@@ -82,7 +87,7 @@ int main(int argc, char** argv) {
           std::pair{adcl::FilterKind::TrimmedMean, "trimmed-mean"}}) {
       int correct = 0;
       const int total =
-          run_sweep(filter, prob, reps, &correct, fixed_times, best);
+          run_sweep(pool, filter, prob, reps, &correct, fixed_times, best);
       t.add_row({harness::Table::num(prob, 4), name,
                  std::to_string(correct) + "/" + std::to_string(total),
                  harness::Table::num(100.0 * correct / total, 0) + "%"});

@@ -38,16 +38,38 @@ int main(int argc, char** argv) {
   harness::Table t({"progress_calls", "pairwise normal[s]",
                     "pairwise async[s]", "linear normal[s]",
                     "linear async[s]"});
-  for (int pc : {1, 5, 100}) {
-    s.progress_calls = pc;
-    s.platform = net::whale();
-    const double pw_n = run_fixed(s, 2).loop_time;
-    const double lin_n = run_fixed(s, 0).loop_time;
-    s.platform = ideal;
-    s.progress_calls = 2000;  // effectively continuous progression
-    const double pw_a = run_fixed(s, 2).loop_time;
-    const double lin_a = run_fixed(s, 0).loop_time;
-    t.add_row({std::to_string(pc), harness::Table::num(pw_n),
+  // Four independent runs per progress-call count; the whole 3x4 grid is
+  // one pool batch.
+  const std::vector<int> pcs = {1, 5, 100};
+  struct Unit {
+    bool ideal;
+    int pc;
+    int fn;  // 2 = pairwise, 0 = linear
+  };
+  std::vector<Unit> units;
+  for (int pc : pcs) {
+    units.push_back({false, pc, 2});
+    units.push_back({false, pc, 0});
+    units.push_back({true, 2000, 2});  // effectively continuous progression
+    units.push_back({true, 2000, 0});
+  }
+  ScenarioPool pool(scale.threads);
+  std::vector<double> times(units.size());
+  {
+    bench::SweepTimer timer("progress ablation", pool.threads());
+    pool.run_indexed(units.size(), [&](std::size_t i) {
+      MicroScenario si = s;
+      si.platform = units[i].ideal ? ideal : net::whale();
+      si.progress_calls = units[i].pc;
+      times[i] = run_fixed(si, units[i].fn).loop_time;
+    });
+  }
+  for (std::size_t p = 0; p < pcs.size(); ++p) {
+    const double pw_n = times[p * 4 + 0];
+    const double lin_n = times[p * 4 + 1];
+    const double pw_a = times[p * 4 + 2];
+    const double lin_a = times[p * 4 + 3];
+    t.add_row({std::to_string(pcs[p]), harness::Table::num(pw_n),
                harness::Table::num(pw_a), harness::Table::num(lin_n),
                harness::Table::num(lin_a)});
   }

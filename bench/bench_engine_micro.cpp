@@ -9,6 +9,7 @@
 #include "adcl/functionsets.hpp"
 #include "adcl/selection.hpp"
 #include "coll/ialltoall.hpp"
+#include "harness/scenario_pool.hpp"
 #include "mpi/world.hpp"
 #include "nbc/handle.hpp"
 #include "net/machine.hpp"
@@ -31,6 +32,99 @@ static void BM_EventScheduleAndRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventScheduleAndRun)->Arg(1024)->Arg(65536);
+
+// The request-timeout pattern of the MPI layer: nearly every scheduled
+// event is cancelled before it fires.  Exercises the generation-tagged
+// O(1) cancel and the stale-entry skip on pop (the old unordered_set
+// cancellation list paid a hash insert + probe per event here).
+static void BM_EventCancelHeavy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::uint64_t> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    sim::Engine eng;
+    ids.clear();
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(eng.schedule_at(1.0 + i, [] {}));
+    }
+    // Cancel 90%: every id not divisible by 10.
+    for (int i = 0; i < n; ++i) {
+      if (i % 10 != 0) eng.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("scheduled events/s (90% cancelled)");
+}
+BENCHMARK(BM_EventCancelHeavy)->Arg(1024)->Arg(65536);
+
+// Steady-state schedule/cancel/reschedule churn on a small live set:
+// slots must recycle from the free list without slab growth.
+static void BM_SlotReuseChurn(benchmark::State& state) {
+  const int churn = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    std::uint64_t pending = eng.schedule_at(0.5, [] {});
+    for (int i = 0; i < churn; ++i) {
+      eng.cancel(pending);
+      pending = eng.schedule_at(0.5 + i * 1e-6, [] {});
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * churn);
+  state.SetLabel("schedule+cancel pairs/s");
+}
+BENCHMARK(BM_SlotReuseChurn)->Arg(100000);
+
+// The wake()/schedule_after(0) fast path: zero-delay chains go through
+// the now-FIFO instead of two O(log n) heap sifts per event.
+static void BM_ZeroDelayChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    // A deep heap of far-future events makes sift cost visible if the
+    // fast path regresses to heap pushes.
+    for (int i = 0; i < 1024; ++i) {
+      auto id = eng.schedule_at(1e6 + i, [] {});
+      benchmark::DoNotOptimize(id);
+    }
+    int count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < n) eng.schedule_after(0.0, [&] { chain(); });
+    };
+    eng.schedule_at(0.0, [&] { chain(); });
+    eng.run_until(0.0);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("zero-delay events/s");
+}
+BENCHMARK(BM_ZeroDelayChain)->Arg(100000);
+
+// ScenarioPool throughput on simulation-shaped tasks (one Engine per
+// task), across worker counts.
+static void BM_ScenarioPoolThroughput(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::size_t tasks = 256;
+  harness::ScenarioPool pool(threads);
+  for (auto _ : state) {
+    std::vector<double> out(tasks);
+    pool.run_indexed(tasks, [&](std::size_t i) {
+      sim::Engine eng(i + 1);
+      eng.add_process("p", [&](sim::Process& p) {
+        for (int s = 0; s < 200; ++s) p.sleep(eng.rng().uniform(0.0, 1.0));
+      });
+      eng.run();
+      out[i] = eng.now();
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+  state.SetLabel("scenario tasks/s");
+}
+BENCHMARK(BM_ScenarioPoolThroughput)->Arg(1)->Arg(2)->Arg(8);
 
 static void BM_FiberSwitch(benchmark::State& state) {
   bool stop = false;

@@ -47,12 +47,40 @@ int main(int argc, char** argv) {
   harness::Table t({"platform", "np", "N", "pattern", "LibNBC[s]", "ADCL[s]",
                     "ratio", "ratio@350it", "result"});
   int total = 0, wins = 0, par = 0;
+
+  // Flatten to one pool task per (case, pattern, backend): every FFT run
+  // owns its engine, so the whole sweep shards across cores and the rows
+  // below aggregate in submission order.
+  struct Unit {
+    const Case* c;
+    fft::Pattern pattern;
+    fft::Backend backend;
+  };
+  std::vector<Unit> units;
   for (const Case& c : cases) {
     for (fft::Pattern p : kAllPatterns) {
-      const FftRun nbc = run_fft(c.platform, c.nprocs, c.grid_n, p,
-                                 fft::Backend::LibNBC, iters);
-      const FftRun ad = run_fft(c.platform, c.nprocs, c.grid_n, p,
-                                fft::Backend::Adcl, iters, tuning);
+      units.push_back({&c, p, fft::Backend::LibNBC});
+      units.push_back({&c, p, fft::Backend::Adcl});
+    }
+  }
+  harness::ScenarioPool pool(scale.threads);
+  std::vector<FftRun> results(units.size());
+  {
+    SweepTimer timer("fft sweep", pool.threads());
+    pool.run_indexed(units.size(), [&](std::size_t i) {
+      const Unit& u = units[i];
+      const adcl::TuningOptions opts =
+          u.backend == fft::Backend::Adcl ? tuning : adcl::TuningOptions{};
+      results[i] = run_fft(u.c->platform, u.c->nprocs, u.c->grid_n,
+                           u.pattern, u.backend, iters, opts);
+    });
+  }
+
+  std::size_t unit = 0;
+  for (const Case& c : cases) {
+    for (fft::Pattern p : kAllPatterns) {
+      const FftRun nbc = results[unit++];
+      const FftRun ad = results[unit++];
       const double ratio = ad.total_time / nbc.total_time;
       const double nbc_rate = nbc.total_time / iters;
       const double ad_learning = ad.total_time - ad.post_learning_time;

@@ -23,6 +23,35 @@ int main(int argc, char** argv) {
   };
   std::vector<Case> cases = {{160, 1280}};
   if (scale.full) cases.push_back({358, 2864});  // paper scale
+
+  // One pool task per (case, pattern, backend) run: 3 backends per row.
+  struct Unit {
+    Case c;
+    fft::Pattern pattern;
+    fft::Backend backend;
+  };
+  std::vector<Unit> units;
+  for (const Case& c : cases) {
+    for (fft::Pattern p : kAllPatterns) {
+      units.push_back({c, p, fft::Backend::Blocking});
+      units.push_back({c, p, fft::Backend::LibNBC});
+      units.push_back({c, p, fft::Backend::Adcl});
+    }
+  }
+  harness::ScenarioPool pool(scale.threads);
+  std::vector<FftRun> results(units.size());
+  {
+    SweepTimer timer("fig10 sweep", pool.threads());
+    pool.run_indexed(units.size(), [&](std::size_t i) {
+      const Unit& u = units[i];
+      const adcl::TuningOptions opts =
+          u.backend == fft::Backend::Adcl ? tuning : adcl::TuningOptions{};
+      results[i] = run_fft(net::whale(), u.c.nprocs, u.c.grid_n, u.pattern,
+                           u.backend, iters, opts);
+    });
+  }
+
+  std::size_t unit = 0;
   for (const Case& c : cases) {
     harness::banner("Fig 10: 3-D FFT, LibNBC vs ADCL vs blocking MPI — "
                     "whale, " +
@@ -31,12 +60,9 @@ int main(int argc, char** argv) {
     harness::Table t({"pattern", "MPI(blocking)[s]", "LibNBC[s]", "ADCL[s]",
                       "best", "ADCL winner"});
     for (fft::Pattern p : kAllPatterns) {
-      const FftRun mpi = run_fft(net::whale(), c.nprocs, c.grid_n, p,
-                                 fft::Backend::Blocking, iters);
-      const FftRun nbc = run_fft(net::whale(), c.nprocs, c.grid_n, p,
-                                 fft::Backend::LibNBC, iters);
-      const FftRun ad = run_fft(net::whale(), c.nprocs, c.grid_n, p,
-                                fft::Backend::Adcl, iters, tuning);
+      const FftRun mpi = results[unit++];
+      const FftRun nbc = results[unit++];
+      const FftRun ad = results[unit++];
       std::string best = "MPI";
       double bt = mpi.total_time;
       if (nbc.total_time < bt) { best = "LibNBC"; bt = nbc.total_time; }

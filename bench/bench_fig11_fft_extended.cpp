@@ -28,6 +28,36 @@ int main(int argc, char** argv) {
   };
   std::vector<Case> cases = {{160, 1280}};
   if (scale.full) cases.push_back({358, 2864});  // paper scale
+
+  // One pool task per (case, pattern, backend) run.
+  struct Unit {
+    Case c;
+    fft::Pattern pattern;
+    bool adcl;
+  };
+  std::vector<Unit> units;
+  for (const Case& c : cases) {
+    for (fft::Pattern p : kAllPatterns) {
+      units.push_back({c, p, false});
+      units.push_back({c, p, true});
+    }
+  }
+  harness::ScenarioPool pool(scale.threads);
+  std::vector<FftRun> results(units.size());
+  {
+    SweepTimer timer("fig11 sweep", pool.threads());
+    pool.run_indexed(units.size(), [&](std::size_t i) {
+      const Unit& u = units[i];
+      results[i] =
+          u.adcl ? run_fft(net::whale(), u.c.nprocs, u.c.grid_n, u.pattern,
+                           fft::Backend::Adcl, iters, tuning,
+                           /*extended_set=*/true)
+                 : run_fft(net::whale(), u.c.nprocs, u.c.grid_n, u.pattern,
+                           fft::Backend::Blocking, iters);
+    });
+  }
+
+  std::size_t unit = 0;
   for (const Case& c : cases) {
     harness::banner(
         "Fig 11: 3-D FFT, extended ADCL function-set (incl. blocking) vs "
@@ -36,11 +66,8 @@ int main(int argc, char** argv) {
     harness::Table t({"pattern", "MPI[s]", "ADCL+b[s]", "MPI_postK[s]",
                       "ADCL+b_postK[s]", "ADCL winner", "decided@"});
     for (fft::Pattern p : kAllPatterns) {
-      const FftRun mpi = run_fft(net::whale(), c.nprocs, c.grid_n, p,
-                                 fft::Backend::Blocking, iters);
-      const FftRun ad =
-          run_fft(net::whale(), c.nprocs, c.grid_n, p, fft::Backend::Adcl,
-                  iters, tuning, /*extended_set=*/true);
+      const FftRun mpi = results[unit++];
+      const FftRun ad = results[unit++];
       // Fair "excluding the learning phase" comparison: the same number of
       // trailing iterations on both sides (paper: "a similar modification
       // to the MPI version in order to measure the same number of

@@ -29,12 +29,33 @@ int main(int argc, char** argv) {
                          " keep the P^2-message transposes tractable]"));
   harness::Table t({"pattern", "MPI[s]", "ADCL+b[s]", "MPI_postK[s]",
                     "ADCL+b_postK[s]", "ADCL winner", "decided@"});
+  // One pool task per (pattern, backend) run.
+  struct Unit {
+    fft::Pattern pattern;
+    bool adcl;
+  };
+  std::vector<Unit> units;
   for (fft::Pattern p : kAllPatterns) {
-    const FftRun mpi = run_fft(net::bluegene_p(), nprocs, grid_n, p,
-                               fft::Backend::Blocking, iters);
-    const FftRun ad = run_fft(net::bluegene_p(), nprocs, grid_n, p,
-                              fft::Backend::Adcl, iters, tuning,
-                              /*extended_set=*/true);
+    units.push_back({p, false});
+    units.push_back({p, true});
+  }
+  harness::ScenarioPool pool(scale.threads);
+  std::vector<FftRun> results(units.size());
+  {
+    SweepTimer timer("fig12 sweep", pool.threads());
+    pool.run_indexed(units.size(), [&](std::size_t i) {
+      const Unit& u = units[i];
+      results[i] = u.adcl ? run_fft(net::bluegene_p(), nprocs, grid_n,
+                                    u.pattern, fft::Backend::Adcl, iters,
+                                    tuning, /*extended_set=*/true)
+                          : run_fft(net::bluegene_p(), nprocs, grid_n,
+                                    u.pattern, fft::Backend::Blocking, iters);
+    });
+  }
+  std::size_t unit = 0;
+  for (fft::Pattern p : kAllPatterns) {
+    const FftRun mpi = results[unit++];
+    const FftRun ad = results[unit++];
     const double mpi_post = mpi.total_time / iters * ad.post_learning_iters;
     t.add_row({fft::pattern_name(p), harness::Table::num(mpi.total_time),
                harness::Table::num(ad.total_time),

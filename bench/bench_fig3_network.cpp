@@ -15,6 +15,7 @@ using namespace nbctune::harness;
 
 int main(int argc, char** argv) {
   const auto scale = bench::Scale::from_args(argc, argv);
+  ScenarioPool pool(scale.threads);
   for (const auto& platform : {net::whale(), net::whale_tcp()}) {
     MicroScenario s;
     s.platform = platform;
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
     bench::print_fixed_comparison(
         "Fig 3: network influence — Ialltoall implementations on " +
             platform.name,
-        s);
+        s, pool);
   }
   return 0;
 }

@@ -15,6 +15,7 @@ using namespace nbctune::harness;
 
 int main(int argc, char** argv) {
   const auto scale = bench::Scale::from_args(argc, argv);
+  ScenarioPool pool(scale.threads);
   for (std::size_t bytes : {std::size_t{1024}, std::size_t{128 * 1024}}) {
     MicroScenario s;
     s.platform = net::crill();
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
     bench::print_fixed_comparison(
         "Fig 4: message-size influence — crill, 256 procs, " +
             std::to_string(bytes / 1024) + " KB per pair",
-        s);
+        s, pool);
   }
   return 0;
 }

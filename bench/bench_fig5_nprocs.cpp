@@ -17,6 +17,7 @@ using namespace nbctune::harness;
 
 int main(int argc, char** argv) {
   const auto scale = bench::Scale::from_args(argc, argv);
+  ScenarioPool pool(scale.threads);
   for (int nprocs : {32, 128}) {
     MicroScenario s;
     s.platform = net::whale();
@@ -30,7 +31,7 @@ int main(int argc, char** argv) {
     bench::print_fixed_comparison(
         "Fig 5: process-count influence — whale, 1 KB, " +
             std::to_string(nprocs) + " procs",
-        s);
+        s, pool);
   }
   return 0;
 }

@@ -29,13 +29,23 @@ int main(int argc, char** argv) {
   const int impl = fset->find_by_name("binomial/seg32k");
 
   harness::Table t({"progress_calls", "loop_time[s]", "vs_pc1"});
+  const std::vector<int> pcs = {0, 1, 2, 5, 10, 100, 1000, 10000};
+  ScenarioPool pool(scale.threads);
+  std::vector<RunOutcome> runs(pcs.size());
+  {
+    bench::SweepTimer timer("fig6 sweep", pool.threads());
+    pool.run_indexed(pcs.size(), [&](std::size_t i) {
+      MicroScenario si = s;
+      si.progress_calls = pcs[i];
+      runs[i] = run_fixed(si, impl);
+    });
+  }
   double base = 0.0;
-  for (int pc : {0, 1, 2, 5, 10, 100, 1000, 10000}) {
-    s.progress_calls = pc;
-    const auto out = run_fixed(s, impl);
-    if (pc == 1) base = out.loop_time;
-    t.add_row({std::to_string(pc), harness::Table::num(out.loop_time),
-               base > 0 ? harness::Table::num(out.loop_time / base, 3) : "-"});
+  for (std::size_t i = 0; i < pcs.size(); ++i) {
+    if (pcs[i] == 1) base = runs[i].loop_time;
+    t.add_row({std::to_string(pcs[i]), harness::Table::num(runs[i].loop_time),
+               base > 0 ? harness::Table::num(runs[i].loop_time / base, 3)
+                        : "-"});
   }
   t.print();
   std::cout << "\nExpected: dips at moderate counts, rises again when the\n"

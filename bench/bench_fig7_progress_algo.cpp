@@ -32,13 +32,25 @@ int main(int argc, char** argv) {
   harness::Table t(
       {"progress_calls", "linear[s]", "dissemination[s]", "pairwise[s]",
        "winner"});
-  for (int pc : {1, 2, 5, 10, 100}) {
-    s.progress_calls = pc;
+  // The whole (progress_calls x implementation) grid runs as one batch.
+  const std::vector<int> pcs = {1, 2, 5, 10, 100};
+  const std::size_t nfun = fset->size();
+  ScenarioPool pool(scale.threads);
+  std::vector<RunOutcome> grid(pcs.size() * nfun);
+  {
+    bench::SweepTimer timer("fig7 sweep", pool.threads());
+    pool.run_indexed(grid.size(), [&](std::size_t i) {
+      MicroScenario si = s;
+      si.progress_calls = pcs[i / nfun];
+      grid[i] = run_fixed(si, static_cast<int>(i % nfun));
+    });
+  }
+  for (std::size_t p = 0; p < pcs.size(); ++p) {
     double best = 1e300;
     std::string winner;
-    std::vector<std::string> row{std::to_string(pc)};
-    for (std::size_t f = 0; f < fset->size(); ++f) {
-      const auto out = run_fixed(s, static_cast<int>(f));
+    std::vector<std::string> row{std::to_string(pcs[p])};
+    for (std::size_t f = 0; f < nfun; ++f) {
+      const auto& out = grid[p * nfun + f];
       row.push_back(harness::Table::num(out.loop_time));
       if (out.loop_time < best) {
         best = out.loop_time;

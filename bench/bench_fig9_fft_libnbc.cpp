@@ -25,6 +25,35 @@ int main(int argc, char** argv) {
   };
   std::vector<Case> cases = {{96, 768}, {160, 1280}};
   if (scale.full) cases.push_back({500, 4000});  // paper scale
+
+  // One pool task per (case, pattern, backend) run.
+  struct Unit {
+    Case c;
+    fft::Pattern pattern;
+    bool adcl;
+  };
+  std::vector<Unit> units;
+  for (const Case& c : cases) {
+    for (fft::Pattern p : kAllPatterns) {
+      units.push_back({c, p, false});
+      units.push_back({c, p, true});
+    }
+  }
+  harness::ScenarioPool pool(scale.threads);
+  std::vector<FftRun> results(units.size());
+  {
+    SweepTimer timer("fig9 sweep", pool.threads());
+    pool.run_indexed(units.size(), [&](std::size_t i) {
+      const Unit& u = units[i];
+      results[i] = u.adcl
+                       ? run_fft(net::crill(), u.c.nprocs, u.c.grid_n,
+                                 u.pattern, fft::Backend::Adcl, iters, tuning)
+                       : run_fft(net::crill(), u.c.nprocs, u.c.grid_n,
+                                 u.pattern, fft::Backend::LibNBC, iters);
+    });
+  }
+
+  std::size_t unit = 0;
   for (const Case& c : cases) {
     harness::banner("Fig 9: 3-D FFT, LibNBC vs ADCL — crill, " +
                     std::to_string(c.nprocs) + " procs, N=" +
@@ -32,10 +61,8 @@ int main(int argc, char** argv) {
     harness::Table t({"pattern", "LibNBC[s]", "ADCL[s]", "ADCL/LibNBC",
                       "ADCL winner"});
     for (fft::Pattern p : kAllPatterns) {
-      const FftRun nbc = run_fft(net::crill(), c.nprocs, c.grid_n, p,
-                                 fft::Backend::LibNBC, iters);
-      const FftRun ad = run_fft(net::crill(), c.nprocs, c.grid_n, p,
-                                fft::Backend::Adcl, iters, tuning);
+      const FftRun nbc = results[unit++];
+      const FftRun ad = results[unit++];
       t.add_row({fft::pattern_name(p), harness::Table::num(nbc.total_time),
                  harness::Table::num(ad.total_time),
                  harness::Table::num(ad.total_time / nbc.total_time, 3),

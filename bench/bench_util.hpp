@@ -2,27 +2,60 @@
 
 // Shared helpers for the figure-reproduction benchmark binaries.
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/microbench.hpp"
+#include "harness/scenario_pool.hpp"
 #include "harness/table.hpp"
 
 namespace nbctune::bench {
 
 /// Scale knob: benches default to a reduced iteration/test budget that
 /// preserves the paper's shapes; `--full` runs closer to paper scale.
+/// `--threads N` (or NBCTUNE_THREADS) shards independent scenarios across
+/// a ScenarioPool; results are aggregated in submission order, so stdout
+/// is byte-identical at any thread count (timing goes to stderr).
 struct Scale {
   bool full = false;
+  int threads = 0;  ///< 0 = auto (NBCTUNE_THREADS, then hardware)
   static Scale from_args(int argc, char** argv) {
     Scale s;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--full") == 0) s.full = true;
+      if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        s.threads = std::atoi(argv[++i]);
+      }
     }
     return s;
   }
+};
+
+/// Wall-clock scope for the parallel sweep phase.  Reports to stderr so
+/// the deterministic stdout tables stay byte-identical across thread
+/// counts.
+class SweepTimer {
+ public:
+  SweepTimer(std::string label, int threads)
+      : label_(std::move(label)),
+        threads_(threads),
+        t0_(std::chrono::steady_clock::now()) {}
+  ~SweepTimer() {
+    const auto dt = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0_)
+                        .count();
+    std::cerr << "[" << label_ << "] wall-clock " << dt << " s at "
+              << threads_ << " thread(s)\n";
+  }
+
+ private:
+  std::string label_;
+  int threads_;
+  std::chrono::steady_clock::time_point t0_;
 };
 
 /// Print one verification run as a figure-style table: every fixed
@@ -56,9 +89,11 @@ inline void print_verification(const std::string& title,
 }
 
 /// Compare fixed implementations only (the per-algorithm bars of the
-/// influence figures); returns the winner's name.
+/// influence figures); the per-implementation runs execute on the pool.
+/// Returns the winner's name.
 inline std::string print_fixed_comparison(const std::string& title,
-                                          const harness::MicroScenario& s) {
+                                          const harness::MicroScenario& s,
+                                          harness::ScenarioPool& pool) {
   harness::banner(title);
   std::cout << "platform=" << s.platform.name << " nprocs=" << s.nprocs
             << " bytes=" << s.bytes << " compute/iter=" << s.compute_per_iter
@@ -66,14 +101,16 @@ inline std::string print_fixed_comparison(const std::string& title,
             << " iterations=" << s.iterations << "\n\n";
   auto fset = harness::scenario_functionset(s);
   harness::Table t({"implementation", "loop_time[s]", "vs_best"});
-  std::vector<harness::RunOutcome> runs;
+  std::vector<harness::RunOutcome> runs(fset->size());
+  pool.run_indexed(fset->size(), [&](std::size_t f) {
+    runs[f] = harness::run_fixed(s, static_cast<int>(f));
+  });
   double best = 1e300;
   std::string best_name;
-  for (std::size_t f = 0; f < fset->size(); ++f) {
-    runs.push_back(harness::run_fixed(s, static_cast<int>(f)));
-    if (runs.back().loop_time < best) {
-      best = runs.back().loop_time;
-      best_name = runs.back().impl;
+  for (const auto& r : runs) {
+    if (r.loop_time < best) {
+      best = r.loop_time;
+      best_name = r.impl;
     }
   }
   for (const auto& r : runs) {

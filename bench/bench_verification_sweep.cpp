@@ -34,7 +34,13 @@ int main(int argc, char** argv) {
                                                            : 256u * 1024};
   const std::vector<int> pcs = scale.full ? std::vector<int>{1, 5, 100}
                                           : std::vector<int>{5, 100};
+  const int tests = 3;
 
+  // Enumerate the sweep's scenarios up front, in the same nested-loop
+  // order as before; every scenario (with its own seed, Engine and Rng)
+  // then runs as one pool task.  Rows are emitted in submission order, so
+  // the table is byte-identical at any --threads value.
+  std::vector<MicroScenario> scenarios;
   for (const P& p : platforms) {
     for (int np : p.nprocs) {
       for (OpKind op : {OpKind::Ialltoall, OpKind::Ibcast}) {
@@ -50,29 +56,40 @@ int main(int argc, char** argv) {
                 op == OpKind::Ialltoall ? 10e-3 : 5e-3;
             s.progress_calls = pc;
             s.noise_scale = 1.0;  // exercise the statistical filtering
-            const int tests = 3;
             const int nfun =
                 static_cast<int>(scenario_functionset(s)->size());
             s.iterations = nfun * tests + 4;
             s.seed = std::hash<std::string>{}(p.platform.name) ^ np ^
                      (bytes << 4) ^ (pc << 16);
-            const auto v = run_verification(s, tests);
-            ++total;
-            bf_ok += v.bruteforce_correct;
-            heur_ok += v.heuristic_correct;
-            t.add_row({op_name(op), p.platform.name, std::to_string(np),
-                       std::to_string(bytes), std::to_string(pc),
-                       v.fixed[v.best_fixed].impl,
-                       v.adcl_bruteforce.impl +
-                           std::string(v.bruteforce_correct ? " [ok]"
-                                                            : " [MISS]"),
-                       v.adcl_heuristic.impl +
-                           std::string(v.heuristic_correct ? " [ok]"
-                                                           : " [MISS]")});
+            scenarios.push_back(s);
           }
         }
       }
     }
+  }
+
+  ScenarioPool pool(scale.threads);
+  std::vector<VerificationRun> runs(scenarios.size());
+  {
+    bench::SweepTimer timer("verification sweep", pool.threads());
+    pool.run_indexed(scenarios.size(), [&](std::size_t i) {
+      runs[i] = run_verification(scenarios[i], tests);
+    });
+  }
+
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const MicroScenario& s = scenarios[i];
+    const VerificationRun& v = runs[i];
+    ++total;
+    bf_ok += v.bruteforce_correct;
+    heur_ok += v.heuristic_correct;
+    t.add_row({op_name(s.op), s.platform.name, std::to_string(s.nprocs),
+               std::to_string(s.bytes), std::to_string(s.progress_calls),
+               v.fixed[v.best_fixed].impl,
+               v.adcl_bruteforce.impl +
+                   std::string(v.bruteforce_correct ? " [ok]" : " [MISS]"),
+               v.adcl_heuristic.impl +
+                   std::string(v.heuristic_correct ? " [ok]" : " [MISS]")});
   }
   t.print();
   std::cout << "\nCorrect decisions over " << total << " verification runs:"

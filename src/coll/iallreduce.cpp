@@ -29,11 +29,14 @@ nbc::Schedule build_iallreduce_recursive_doubling(int me, int n,
   auto* acc = static_cast<std::byte*>(rbuf);
   std::byte* tmp = real ? s.scratch(bytes) : nullptr;
 
-  s.copy(sbuf, acc, bytes);
-  s.barrier();
   // Round for mask m: fold the previous exchange, then swap full vectors
   // with peer me^m.  The fold-before-send ordering makes each send carry
-  // the partial reduction of the subcube handled so far.
+  // the partial reduction of the subcube handled so far.  The initial
+  // copy shares the first exchange round: local actions execute when the
+  // round is posted, before its sends go out, so the first send already
+  // carries the copied vector — log2(n) exchange rounds plus the final
+  // fold, matching LibNBC's round count (copy + log2(n) exchanges).
+  s.copy(sbuf, acc, bytes);
   bool pending_fold = false;
   for (int mask = 1; mask < n; mask <<= 1) {
     if (pending_fold) s.op(tmp, acc, count, dtype, op);

@@ -119,24 +119,42 @@ RunOutcome run_adcl(const MicroScenario& s, adcl::TuningOptions opts) {
 }
 
 VerificationRun run_verification(const MicroScenario& s,
-                                 int tests_per_function) {
+                                 int tests_per_function, ScenarioPool* pool) {
   VerificationRun v;
   auto fset = scenario_functionset(s);
-  double best = std::numeric_limits<double>::infinity();
-  for (std::size_t f = 0; f < fset->size(); ++f) {
-    v.fixed.push_back(run_fixed(s, static_cast<int>(f)));
-    if (v.fixed.back().loop_time < best) {
-      best = v.fixed.back().loop_time;
-      v.best_fixed = static_cast<int>(f);
-    }
-  }
   adcl::TuningOptions bf;
   bf.policy = adcl::PolicyKind::BruteForce;
   bf.tests_per_function = tests_per_function;
-  v.adcl_bruteforce = run_adcl(s, bf);
   adcl::TuningOptions heur = bf;
   heur.policy = adcl::PolicyKind::AttributeHeuristic;
-  v.adcl_heuristic = run_adcl(s, heur);
+
+  // Component runs: one task per fixed implementation, plus the two ADCL
+  // policies.  Each owns its Engine, so they are independent; results
+  // land by index and the aggregation below is order-insensitive.
+  const std::size_t nfun = fset->size();
+  v.fixed.resize(nfun);
+  auto unit = [&](std::size_t i) {
+    if (i < nfun) {
+      v.fixed[i] = run_fixed(s, static_cast<int>(i));
+    } else if (i == nfun) {
+      v.adcl_bruteforce = run_adcl(s, bf);
+    } else {
+      v.adcl_heuristic = run_adcl(s, heur);
+    }
+  };
+  if (pool != nullptr) {
+    pool->run_indexed(nfun + 2, unit);
+  } else {
+    for (std::size_t i = 0; i < nfun + 2; ++i) unit(i);
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t f = 0; f < nfun; ++f) {
+    if (v.fixed[f].loop_time < best) {
+      best = v.fixed[f].loop_time;
+      v.best_fixed = static_cast<int>(f);
+    }
+  }
 
   // "Correct" (paper §IV-A): the chosen implementation's fixed-run time is
   // within 5% of the best fixed implementation.

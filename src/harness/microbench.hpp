@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "adcl/adcl.hpp"
+#include "harness/scenario_pool.hpp"
 #include "net/platform.hpp"
 
 namespace nbctune::harness {
@@ -86,7 +87,11 @@ struct VerificationRun {
 /// Tolerance for "correct decision" (paper: within 5% of the best).
 inline constexpr double kCorrectTolerance = 0.05;
 
+/// When a pool is given, the component runs (every fixed implementation
+/// plus the two ADCL policies — each with its own Engine) execute as
+/// parallel tasks; results are identical to the serial path.
 VerificationRun run_verification(const MicroScenario& s,
-                                 int tests_per_function = 5);
+                                 int tests_per_function = 5,
+                                 ScenarioPool* pool = nullptr);
 
 }  // namespace nbctune::harness

@@ -1,0 +1,203 @@
+#include "harness/scenario_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace nbctune::harness {
+
+namespace {
+constexpr std::size_t kNoError = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+struct ScenarioPool::Impl {
+  // One deque of task indices per worker, individually locked.  At sweep
+  // granularity (every task simulates a full scenario, milliseconds to
+  // seconds of host time) the per-pop mutex is noise; what matters is
+  // that idle workers can drain a loaded victim.
+  struct Shard {
+    std::mutex mu;
+    std::deque<std::size_t> q;
+  };
+
+  explicit Impl(int threads) : shards(static_cast<std::size_t>(threads)) {
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      workers.emplace_back([this, w] { worker_main(w); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      shutdown = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& t : workers) t.join();
+  }
+
+  void worker_main(int me) {
+    std::uint64_t seen_batch = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        work_cv.wait(lk,
+                     [&] { return shutdown || batch_id != seen_batch; });
+        if (shutdown) return;
+        seen_batch = batch_id;
+      }
+      drain(me);
+    }
+  }
+
+  /// Run tasks until neither my shard nor any victim has work.
+  void drain(int me) {
+    std::size_t idx;
+    while (pop_task(me, &idx)) {
+      run_task(idx);
+    }
+  }
+
+  bool pop_task(int me, std::size_t* idx) {
+    {
+      Shard& own = shards[static_cast<std::size_t>(me)];
+      std::lock_guard<std::mutex> lk(own.mu);
+      if (!own.q.empty()) {
+        *idx = own.q.front();
+        own.q.pop_front();
+        return true;
+      }
+    }
+    // Steal from the back of the fullest victim: grabs the work farthest
+    // from the owner's hot end and keeps contiguous blocks contiguous.
+    for (;;) {
+      int victim = -1;
+      std::size_t victim_size = 0;
+      for (std::size_t s = 0; s < shards.size(); ++s) {
+        if (static_cast<int>(s) == me) continue;
+        std::lock_guard<std::mutex> lk(shards[s].mu);
+        if (shards[s].q.size() > victim_size) {
+          victim = static_cast<int>(s);
+          victim_size = shards[s].q.size();
+        }
+      }
+      if (victim < 0) return false;
+      Shard& v = shards[static_cast<std::size_t>(victim)];
+      std::lock_guard<std::mutex> lk(v.mu);
+      if (v.q.empty()) continue;  // raced: somebody drained it, rescan
+      *idx = v.q.back();
+      v.q.pop_back();
+      return true;
+    }
+  }
+
+  void run_task(std::size_t idx) {
+    try {
+      (*fn)(idx);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu);
+      if (idx < error_index) {
+        error_index = idx;
+        error = std::current_exception();
+      }
+    }
+    if (unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(mu);
+      done_cv.notify_all();
+    }
+  }
+
+  void run_batch(std::size_t n, const std::function<void(std::size_t)>& f) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      fn = &f;
+      error = nullptr;
+      error_index = kNoError;
+      unfinished.store(n, std::memory_order_relaxed);
+      // Seed each worker with a contiguous block of indices; remainders
+      // spread one extra task over the first workers.
+      const std::size_t w = shards.size();
+      const std::size_t base = n / w;
+      const std::size_t extra = n % w;
+      std::size_t next = 0;
+      for (std::size_t s = 0; s < w; ++s) {
+        std::lock_guard<std::mutex> slk(shards[s].mu);
+        const std::size_t take = base + (s < extra ? 1 : 0);
+        for (std::size_t i = 0; i < take; ++i) shards[s].q.push_back(next++);
+      }
+      ++batch_id;
+    }
+    work_cv.notify_all();
+    std::unique_lock<std::mutex> lk(mu);
+    done_cv.wait(lk, [&] {
+      return unfinished.load(std::memory_order_acquire) == 0;
+    });
+    fn = nullptr;
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+
+  std::vector<Shard> shards;
+  std::vector<std::thread> workers;
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> unfinished{0};
+  std::uint64_t batch_id = 0;
+  bool shutdown = false;
+  std::exception_ptr error;
+  std::size_t error_index = kNoError;
+};
+
+int ScenarioPool::resolve_threads(int requested) noexcept {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("NBCTUNE_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ScenarioPool::ScenarioPool(int threads)
+    : impl_(nullptr), threads_(resolve_threads(threads)) {
+  if (threads_ > 1) impl_ = new Impl(threads_);
+}
+
+ScenarioPool::~ScenarioPool() { delete impl_; }
+
+void ScenarioPool::run_indexed(std::size_t n,
+                               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const bool pooled =
+      impl_ != nullptr && n > 1 && !busy_.exchange(true, std::memory_order_acquire);
+  if (!pooled) {
+    // Inline execution: same contract as the pooled path (every task
+    // runs; the lowest-index exception propagates afterwards).
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (error == nullptr) error = std::current_exception();
+      }
+    }
+    if (error != nullptr) std::rethrow_exception(error);
+    return;
+  }
+  try {
+    impl_->run_batch(n, fn);
+  } catch (...) {
+    busy_.store(false, std::memory_order_release);
+    throw;
+  }
+  busy_.store(false, std::memory_order_release);
+}
+
+}  // namespace nbctune::harness

@@ -1,0 +1,84 @@
+#pragma once
+
+// ScenarioPool: a work-stealing thread pool for embarrassingly parallel
+// simulation sweeps.
+//
+// The paper's headline numbers are sweeps — hundreds of verification runs
+// and FFT tests — and every scenario owns a fully independent sim::Engine
+// (its own clock, event queue and Rng).  The pool shards those scenarios
+// across cores under a strict determinism contract:
+//
+//   * one Engine / Rng per task, no shared mutable state between tasks;
+//   * results are aggregated by submission index, never by completion
+//     order — so a sweep produces byte-identical tables at 1 thread and
+//     at N threads;
+//   * an exception thrown by a task is re-thrown to the caller; when
+//     several tasks throw, the one with the lowest submission index wins
+//     (again independent of thread count).
+//
+// Scheduling: each worker owns a deque of task indices, seeded with a
+// contiguous block of the batch.  Workers pop their own deque from the
+// front and steal from the back of the busiest victim when empty, so an
+// uneven sweep (one huge scenario amid many small ones) still finishes
+// in max(task) rather than sum(block).
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace nbctune::harness {
+
+class ScenarioPool {
+ public:
+  /// threads <= 0 resolves via NBCTUNE_THREADS, then the hardware
+  /// concurrency.  threads == 1 runs every batch inline on the caller.
+  explicit ScenarioPool(int threads = 0);
+  ~ScenarioPool();
+
+  ScenarioPool(const ScenarioPool&) = delete;
+  ScenarioPool& operator=(const ScenarioPool&) = delete;
+
+  /// Worker count this pool executes with (>= 1).
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  /// Resolve a requested thread count: positive values pass through,
+  /// otherwise $NBCTUNE_THREADS, otherwise std::thread::hardware_concurrency.
+  static int resolve_threads(int requested) noexcept;
+
+  /// Run fn(0) .. fn(n-1), blocking until all have finished.  Tasks must
+  /// be independent; every index runs exactly once.  If any task throws,
+  /// the remaining tasks still run and the exception from the lowest
+  /// index is re-thrown here.  Re-entrant calls (a task dispatching a
+  /// sub-batch on its own pool) execute inline on the calling thread —
+  /// same contract, no deadlock.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Map items through `make` (item, index) -> R, returning results in
+  /// submission order.
+  template <typename R, typename Item, typename F>
+  std::vector<R> map(const std::vector<Item>& items, F&& make) {
+    std::vector<R> out(items.size());
+    run_indexed(items.size(),
+                [&](std::size_t i) { out[i] = make(items[i], i); });
+    return out;
+  }
+
+  /// Run a batch of nullary callables, returning their results in
+  /// submission order.
+  template <typename R>
+  std::vector<R> run_all(const std::vector<std::function<R()>>& tasks) {
+    std::vector<R> out(tasks.size());
+    run_indexed(tasks.size(), [&](std::size_t i) { out[i] = tasks[i](); });
+    return out;
+  }
+
+ private:
+  struct Impl;
+  Impl* impl_;  // pimpl: keeps <thread>/<mutex> out of this header
+  int threads_;
+  std::atomic<bool> busy_{false};  // batch in flight (run_indexed re-entrancy)
+};
+
+}  // namespace nbctune::harness

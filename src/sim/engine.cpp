@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -56,9 +57,7 @@ void Process::run_slice() { fiber_.resume(); }
 
 Engine::Engine(std::uint64_t seed) : rng_(seed) {}
 
-std::uint64_t Engine::schedule_at(Time t, Callback cb) {
-  if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
-  const std::uint64_t id = next_seq_++;
+std::uint32_t Engine::acquire_slot(Callback cb) {
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -67,12 +66,43 @@ std::uint64_t Engine::schedule_at(Time t, Callback cb) {
   } else {
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.push_back(std::move(cb));
+    slot_gen_.push_back(0);
   }
-  queue_.push(Event{t, id, slot});
-  return id;
+  return slot;
 }
 
-void Engine::cancel(std::uint64_t id) { cancelled_.insert(id); }
+void Engine::release_slot(std::uint32_t slot) noexcept {
+  slots_[slot].reset();
+  // The generation bump invalidates every outstanding id and heap/FIFO
+  // entry referring to this slot's previous occupant.  (A single slot
+  // would need 2^32 reuses for an id to alias; experiments run tens of
+  // millions of events, far below that.)
+  ++slot_gen_[slot];
+  free_slots_.push_back(slot);
+}
+
+std::uint64_t Engine::schedule_at(Time t, Callback cb) {
+  if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
+  const std::uint32_t slot = acquire_slot(std::move(cb));
+  const std::uint32_t gen = slot_gen_[slot];
+  if (t == now_) {
+    // Zero-delay fast path: no heap sift.  FIFO order equals sequence
+    // order, and every heap event at this instant predates the clock's
+    // arrival here, so heap-before-FIFO preserves global (t, seq) order.
+    now_fifo_.push_back(NowEvent{slot, gen});
+  } else {
+    queue_.push(Event{t, next_seq_++, slot, gen});
+  }
+  return make_id(slot, gen);
+}
+
+void Engine::cancel(std::uint64_t id) {
+  const auto slot = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id);
+  if (slot < slot_gen_.size() && slot_gen_[slot] == gen) {
+    release_slot(slot);
+  }
+}
 
 Process& Engine::add_process(std::string name,
                              std::function<void(Process&)> body,
@@ -89,19 +119,35 @@ Process& Engine::add_process(std::string name,
   return *p;
 }
 
-bool Engine::step() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
-    Callback cb = std::move(slots_[ev.slot]);
-    free_slots_.push_back(ev.slot);
-    if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) continue;
-    now_ = ev.t;
+bool Engine::step(Time limit) {
+  for (;;) {
+    std::uint32_t slot;
+    const bool fifo_ready = now_head_ < now_fifo_.size();
+    if (!queue_.empty() && (!fifo_ready || queue_.top().t <= now_)) {
+      const Event ev = queue_.top();
+      if (ev.t > limit) return false;
+      queue_.pop();
+      if (slot_gen_[ev.slot] != ev.gen) continue;  // cancelled: stale entry
+      now_ = ev.t;
+      slot = ev.slot;
+    } else if (fifo_ready) {
+      if (now_ > limit) return false;  // run_until() into the past
+      const NowEvent ev = now_fifo_[now_head_];
+      if (++now_head_ == now_fifo_.size()) {
+        now_fifo_.clear();
+        now_head_ = 0;
+      }
+      if (slot_gen_[ev.slot] != ev.gen) continue;  // cancelled
+      slot = ev.slot;
+    } else {
+      return false;
+    }
+    Callback cb = std::move(slots_[slot]);
+    release_slot(slot);
     ++events_processed_;
     cb();
     return true;
   }
-  return false;
 }
 
 void Engine::check_deadlock() const {
@@ -130,7 +176,7 @@ void Engine::launch_pending() {
 void Engine::run() {
   running_ = true;
   launch_pending();
-  while (step()) {
+  while (step(std::numeric_limits<Time>::infinity())) {
   }
   running_ = false;
   check_deadlock();
@@ -139,8 +185,7 @@ void Engine::run() {
 void Engine::run_until(Time t) {
   running_ = true;
   launch_pending();
-  while (!queue_.empty() && queue_.top().t <= t) {
-    step();
+  while (step(t)) {
   }
   if (now_ < t) now_ = t;
   running_ = false;

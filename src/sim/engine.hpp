@@ -13,7 +13,6 @@
 #include <memory>
 #include <queue>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/fiber.hpp"
@@ -93,6 +92,9 @@ class Engine {
   }
 
   /// Schedule cb at absolute time t (>= now).  Returns an id for cancel().
+  /// Events at exactly the current time bypass the heap entirely (the
+  /// wake()/zero-delay fast path) and run FIFO after any heap events that
+  /// were already pending for this instant.
   std::uint64_t schedule_at(Time t, Callback cb);
 
   /// Schedule cb dt seconds from now.
@@ -100,8 +102,9 @@ class Engine {
     return schedule_at(now_ + dt, std::move(cb));
   }
 
-  /// Lazily cancel a scheduled event.  Cancelling an already-fired or
-  /// unknown id is a no-op.
+  /// Cancel a scheduled event in O(1).  Cancelling an already-fired or
+  /// unknown id is a no-op.  The slot is reclaimed immediately; the stale
+  /// heap entry is skipped when it surfaces.
   void cancel(std::uint64_t id);
 
   /// Create a process; its body starts running when run() is called.
@@ -131,10 +134,16 @@ class Engine {
  private:
   // The heap holds small plain entries; callbacks live in a slab indexed
   // by slot so heap sifts move 24 bytes instead of the whole callable.
+  // Each slot carries a generation counter, bumped on every release: an
+  // event id encodes (slot, generation), so cancel() is pointer-free O(1)
+  // arithmetic and a popped heap entry whose generation no longer matches
+  // its slot is simply stale (cancelled or superseded).  The slab never
+  // shrinks; freed slots are recycled LIFO for cache warmth.
   struct Event {
     Time t;
     std::uint64_t seq;
     std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -142,8 +151,21 @@ class Engine {
       return a.seq > b.seq;
     }
   };
+  /// Entry of the now-FIFO: events scheduled at exactly the current time.
+  struct NowEvent {
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
 
-  bool step();  // pop and run one event; false if queue empty
+  static constexpr std::uint64_t make_id(std::uint32_t slot,
+                                         std::uint32_t gen) noexcept {
+    return (static_cast<std::uint64_t>(slot) << 32) | gen;
+  }
+
+  std::uint32_t acquire_slot(Callback cb);
+  void release_slot(std::uint32_t slot) noexcept;
+
+  bool step(Time limit);  // pop and run one event with t <= limit
   void check_deadlock() const;
   void launch_pending();  // start processes added since the last call
 
@@ -152,8 +174,14 @@ class Engine {
   std::uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<Callback> slots_;
+  std::vector<std::uint32_t> slot_gen_;
   std::vector<std::uint32_t> free_slots_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  // Fast path for schedule_after(0)-style wakeups: a FIFO of events at
+  // t == now_, drained after the heap's events for this instant (which
+  // necessarily carry smaller sequence numbers) and before the clock
+  // advances.  Skips two O(log n) heap sifts per wakeup.
+  std::vector<NowEvent> now_fifo_;
+  std::size_t now_head_ = 0;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Process*> start_pending_;
   Rng rng_;

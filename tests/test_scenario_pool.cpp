@@ -1,0 +1,173 @@
+// Unit tests for the ScenarioPool sweep runner: determinism across
+// thread counts, ordered aggregation, exception propagation, edge cases,
+// and the work-stealing machinery under load.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/scenario_pool.hpp"
+#include "sim/engine.hpp"
+
+namespace harness = nbctune::harness;
+namespace sim = nbctune::sim;
+
+namespace {
+
+/// A miniature scenario: a seeded simulation whose result depends on its
+/// own Engine/Rng only — the determinism contract's unit of work.
+double run_mini_scenario(std::uint64_t seed) {
+  sim::Engine eng(seed);
+  eng.add_process("p", [&](sim::Process& p) {
+    for (int i = 0; i < 50; ++i) p.sleep(eng.rng().uniform(0.0, 1.0));
+  });
+  eng.run();
+  return eng.now();
+}
+
+std::vector<double> run_sweep(int threads, std::size_t n) {
+  harness::ScenarioPool pool(threads);
+  std::vector<double> out(n);
+  pool.run_indexed(n, [&](std::size_t i) {
+    out[i] = run_mini_scenario(1000 + i);
+  });
+  return out;
+}
+
+}  // namespace
+
+TEST(ScenarioPool, DeterministicAcrossThreadCounts) {
+  const std::size_t n = 64;
+  const auto serial = run_sweep(1, n);
+  EXPECT_EQ(serial, run_sweep(2, n));
+  EXPECT_EQ(serial, run_sweep(8, n));
+}
+
+TEST(ScenarioPool, EveryIndexRunsExactlyOnce) {
+  const std::size_t n = 500;
+  harness::ScenarioPool pool(8);
+  std::vector<std::atomic<int>> hits(n);
+  pool.run_indexed(n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ScenarioPool, EmptyBatchIsANoOp) {
+  harness::ScenarioPool pool(4);
+  bool touched = false;
+  pool.run_indexed(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ScenarioPool, SingleTaskRuns) {
+  harness::ScenarioPool pool(4);
+  int value = 0;
+  pool.run_indexed(1, [&](std::size_t i) { value = static_cast<int>(i) + 7; });
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ScenarioPool, WorkerExceptionPropagates) {
+  harness::ScenarioPool pool(4);
+  EXPECT_THROW(
+      pool.run_indexed(16,
+                       [&](std::size_t i) {
+                         if (i == 5) throw std::runtime_error("task 5 died");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ScenarioPool, LowestIndexExceptionWinsAndOthersStillRun) {
+  // Several tasks throw; the surviving exception must be the lowest
+  // submission index regardless of execution order, and non-throwing
+  // tasks still execute.
+  for (int threads : {1, 4}) {
+    harness::ScenarioPool pool(threads);
+    const std::size_t n = 32;
+    std::vector<std::atomic<int>> hits(n);
+    try {
+      pool.run_indexed(n, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+        if (i == 20 || i == 3 || i == 27) {
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 3") << "threads=" << threads;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ScenarioPool, PoolIsReusableAcrossBatches) {
+  harness::ScenarioPool pool(4);
+  for (int batch = 0; batch < 10; ++batch) {
+    std::vector<int> out(37, -1);
+    pool.run_indexed(out.size(), [&](std::size_t i) {
+      out[i] = batch * 1000 + static_cast<int>(i);
+    });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], batch * 1000 + static_cast<int>(i));
+    }
+  }
+}
+
+TEST(ScenarioPool, ReentrantDispatchRunsInline) {
+  // A task that dispatches a sub-batch on its own pool must not deadlock;
+  // the sub-batch runs inline on the worker.
+  harness::ScenarioPool pool(2);
+  std::vector<int> outer(4, 0);
+  pool.run_indexed(outer.size(), [&](std::size_t i) {
+    int sum = 0;
+    pool.run_indexed(3, [&](std::size_t j) { sum += static_cast<int>(j) + 1; });
+    outer[i] = sum;
+  });
+  for (int v : outer) EXPECT_EQ(v, 6);
+}
+
+TEST(ScenarioPool, MapAggregatesInSubmissionOrder) {
+  harness::ScenarioPool pool(8);
+  std::vector<int> items(40);
+  std::iota(items.begin(), items.end(), 0);
+  const auto out = pool.map<int>(
+      items, [](int item, std::size_t idx) {
+        return item * 2 + static_cast<int>(idx);
+      });
+  ASSERT_EQ(out.size(), items.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+  }
+}
+
+TEST(ScenarioPool, ResolveThreadsHonoursEnvAndRequest) {
+  EXPECT_EQ(harness::ScenarioPool::resolve_threads(5), 5);
+  ::setenv("NBCTUNE_THREADS", "3", 1);
+  EXPECT_EQ(harness::ScenarioPool::resolve_threads(0), 3);
+  EXPECT_EQ(harness::ScenarioPool::resolve_threads(2), 2);  // arg wins
+  ::unsetenv("NBCTUNE_THREADS");
+  EXPECT_GE(harness::ScenarioPool::resolve_threads(0), 1);
+}
+
+TEST(ScenarioPool, UnevenTasksAllComplete) {
+  // Work stealing: one shard gets a block of heavy tasks; idle workers
+  // must steal them rather than wait.
+  harness::ScenarioPool pool(4);
+  const std::size_t n = 64;
+  std::vector<double> out(n, 0.0);
+  pool.run_indexed(n, [&](std::size_t i) {
+    // The first block (worker 0's seed) is 30x heavier than the rest.
+    const int reps = i < n / 4 ? 30 : 1;
+    double acc = 0;
+    for (int r = 0; r < reps; ++r) acc += run_mini_scenario(i * 31 + r);
+    out[i] = acc;
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_GT(out[i], 0.0) << i;
+}

@@ -223,6 +223,108 @@ TEST(Engine, DeadlockDetected) {
   EXPECT_THROW(eng.run(), sim::Engine::DeadlockError);
 }
 
+TEST(Engine, CancelAfterFireIsANoOp) {
+  sim::Engine eng;
+  int fired = 0;
+  auto id = eng.schedule_at(1.0, [&] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  eng.cancel(id);  // stale id: must not blow up or affect future events
+  bool later = false;
+  eng.schedule_at(2.0, [&] { later = true; });
+  eng.run();
+  EXPECT_TRUE(later);
+}
+
+TEST(Engine, StaleCancelDoesNotKillSlotReuser) {
+  // The slot of a fired event is recycled; cancelling the fired event's
+  // id afterwards must not cancel the unrelated event now in that slot.
+  sim::Engine eng;
+  auto first = eng.schedule_at(1.0, [] {});
+  eng.run();
+  int fired = 0;
+  eng.schedule_at(2.0, [&] { ++fired; });  // may reuse first's slot
+  eng.cancel(first);
+  eng.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, CancelHeavyChurnKeepsOrder) {
+  // Schedule a block, cancel every other event, interleave a second
+  // block reusing the freed slots: survivors fire in (time, seq) order.
+  sim::Engine eng;
+  std::vector<int> order;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(eng.schedule_at(1.0 + i, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 100; i += 2) eng.cancel(ids[i]);
+  for (int i = 100; i < 150; ++i) {
+    eng.schedule_at(1.0 + i, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  std::vector<int> expect;
+  for (int i = 1; i < 100; i += 2) expect.push_back(i);
+  for (int i = 100; i < 150; ++i) expect.push_back(i);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Engine, ZeroDelayEventsRunFifoAfterPendingHeapEvents) {
+  // Heap events already due at the current instant precede zero-delay
+  // events scheduled from within a callback at that instant; zero-delay
+  // chains preserve FIFO order.
+  sim::Engine eng;
+  std::vector<std::string> trace;
+  eng.schedule_at(1.0, [&] {
+    trace.push_back("a");
+    eng.schedule_after(0.0, [&] {
+      trace.push_back("c");
+      eng.schedule_after(0.0, [&] { trace.push_back("e"); });
+      eng.schedule_after(0.0, [&] { trace.push_back("f"); });
+    });
+    eng.schedule_after(0.0, [&] { trace.push_back("d"); });
+  });
+  eng.schedule_at(1.0, [&] { trace.push_back("b"); });  // already in heap
+  eng.schedule_at(2.0, [&] { trace.push_back("g"); });
+  eng.run();
+  EXPECT_EQ(trace, (std::vector<std::string>{"a", "b", "c", "d", "e", "f",
+                                             "g"}));
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+}
+
+TEST(Engine, ZeroDelayEventCanBeCancelled) {
+  sim::Engine eng;
+  bool fired = false;
+  eng.schedule_at(1.0, [&] {
+    auto id = eng.schedule_after(0.0, [&] { fired = true; });
+    eng.cancel(id);
+  });
+  eng.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, RunUntilDoesNotRunZeroDelayPastLimit) {
+  // run_until(t) must not fire events scheduled at a now_ beyond t.
+  sim::Engine eng;
+  eng.schedule_at(5.0, [] {});
+  eng.run();  // now_ == 5
+  bool fired = false;
+  eng.schedule_after(0.0, [&] { fired = true; });  // at t == 5
+  eng.run_until(3.0);                              // in the past: no-op
+  EXPECT_FALSE(fired);
+  eng.run_until(5.0);  // events at exactly t still fire
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, EventsProcessedCountsOnlyExecuted) {
+  sim::Engine eng;
+  auto a = eng.schedule_at(1.0, [] {});
+  eng.schedule_at(2.0, [] {});
+  eng.cancel(a);
+  eng.run();
+  EXPECT_EQ(eng.events_processed(), 1u);
+}
+
 TEST(Engine, DeterministicAcrossRuns) {
   auto run_once = [] {
     sim::Engine eng(1234);
