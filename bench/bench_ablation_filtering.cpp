@@ -63,12 +63,12 @@ int run_sweep(harness::ScenarioPool& pool, adcl::FilterKind filter,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto scale = bench::Scale::from_args(argc, argv);
+  bench::Driver drv("filtering-ablation", argc, argv);
   harness::banner(
       "Ablation: decision accuracy with statistical filtering on/off "
       "under amplified OS noise");
-  const int reps = scale.full ? 40 : 15;
-  ScenarioPool pool(scale.threads);
+  const int reps = drv.full() ? 40 : 15;
+  ScenarioPool& pool = drv.pool();
   // Ground truth once: a noise-free fixed sweep of the scenario.
   MicroScenario clean = close_race_scenario(0.0);
   clean.noise_scale = 0.0;
@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
   double best = 1e300;
   for (double ft : fixed_times) best = std::min(best, ft);
   harness::Table t({"outlier_prob", "filter", "correct", "rate"});
-  bench::SweepTimer timer("filtering ablation", pool.threads());
+  auto timer = drv.timer();
   for (double prob : {0.0002, 0.001, 0.004}) {
     for (auto [filter, name] :
          {std::pair{adcl::FilterKind::None, "none"},

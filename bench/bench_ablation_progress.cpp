@@ -15,7 +15,7 @@ using namespace nbctune;
 using namespace nbctune::harness;
 
 int main(int argc, char** argv) {
-  const auto scale = bench::Scale::from_args(argc, argv);
+  bench::Driver drv("progress-ablation", argc, argv);
   harness::banner(
       "Ablation: CPU-driven progress vs idealized async progression — "
       "Ialltoall pairwise, whale, 32 procs, 128 KB");
@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   s.op = OpKind::Ialltoall;
   s.bytes = 128 * 1024;
   s.compute_per_iter = 50e-3;
-  s.iterations = scale.full ? 20 : 8;
+  s.iterations = drv.full() ? 20 : 8;
   s.noise_scale = 0.0;  // systematic comparison: noise off
 
   // Idealized async progress: a platform variant whose progress engine is
@@ -53,11 +53,10 @@ int main(int argc, char** argv) {
     units.push_back({true, 2000, 2});  // effectively continuous progression
     units.push_back({true, 2000, 0});
   }
-  ScenarioPool pool(scale.threads);
   std::vector<double> times(units.size());
   {
-    bench::SweepTimer timer("progress ablation", pool.threads());
-    pool.run_indexed(units.size(), [&](std::size_t i) {
+    auto timer = drv.timer();
+    drv.pool().run_indexed(units.size(), [&](std::size_t i) {
       MicroScenario si = s;
       si.platform = units[i].ideal ? ideal : net::whale();
       si.progress_calls = units[i].pc;

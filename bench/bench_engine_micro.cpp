@@ -16,8 +16,35 @@
 #include "net/platform.hpp"
 #include "sim/engine.hpp"
 #include "sim/fiber.hpp"
+#include "trace/trace.hpp"
 
 using namespace nbctune;
+
+// Tracing-overhead contract (trace.hpp): with no Tracer installed, every
+// instrumentation hook is a thread-local load plus a not-taken branch.
+// Arg(0) runs the engine hot path with tracing off (the default in every
+// run without --trace); Arg(1) installs a live Tracer on this thread.
+// Compare items/s: the off case must stay within ~2 % of pre-trace
+// builds, the on case bounds the cost of a fully recorded run.
+static void BM_EventChurnTraced(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  const int n = 65536;
+  trace::Tracer tracer("bench_engine_micro");
+  trace::Tracer* prev = nullptr;
+  if (traced) prev = trace::set_current(&tracer);
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < n; ++i) {
+      eng.schedule_at(static_cast<double>(i), [] {});
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.now());
+  }
+  if (traced) trace::set_current(prev);
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(traced ? "events/s (tracing on)" : "events/s (tracing off)");
+}
+BENCHMARK(BM_EventChurnTraced)->Arg(0)->Arg(1);
 
 static void BM_EventScheduleAndRun(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -71,10 +71,10 @@ GridResult run_once(const net::Platform& platform, int pinned_fn, int pc,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto scale = bench::Scale::from_args(argc, argv);
+  bench::Driver drv("ext-progress-tuning", argc, argv);
   const std::vector<int> counts{1, 5, 20, 100};
   auto fset = adcl::make_ialltoall_progress_functionset(counts);
-  const int iters = scale.full ? 80 : 40;
+  const int iters = drv.full() ? 80 : 40;
 
   for (const auto& platform : {net::whale(), net::whale_tcp()}) {
     banner("Extension: joint (algorithm, progress-count) tuning — " +

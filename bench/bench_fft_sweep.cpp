@@ -12,11 +12,11 @@ using namespace nbctune;
 using namespace nbctune::bench;
 
 int main(int argc, char** argv) {
-  const auto scale = Scale::from_args(argc, argv);
+  Driver drv("fft-sweep", argc, argv);
   harness::banner("3-D FFT sweep: ADCL vs LibNBC across scenarios");
   adcl::TuningOptions tuning;
   tuning.tests_per_function = 2;
-  const int iters = scale.full ? 25 : 15;
+  const int iters = drv.full() ? 25 : 15;
 
   struct Case {
     net::Platform platform;
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
       {net::crill(), 96, 768},
       {net::bluegene_p(), 128, 1024},
   };
-  if (scale.full) {
+  if (drv.full()) {
     cases.push_back({net::crill(), 160, 1280});
     cases.push_back({net::crill(), 256, 2048});
     cases.push_back({net::bluegene_p(), 256, 2048});
@@ -63,11 +63,10 @@ int main(int argc, char** argv) {
       units.push_back({&c, p, fft::Backend::Adcl});
     }
   }
-  harness::ScenarioPool pool(scale.threads);
   std::vector<FftRun> results(units.size());
   {
-    SweepTimer timer("fft sweep", pool.threads());
-    pool.run_indexed(units.size(), [&](std::size_t i) {
+    auto timer = drv.timer();
+    drv.pool().run_indexed(units.size(), [&](std::size_t i) {
       const Unit& u = units[i];
       const adcl::TuningOptions opts =
           u.backend == fft::Backend::Adcl ? tuning : adcl::TuningOptions{};

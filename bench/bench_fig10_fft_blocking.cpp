@@ -12,17 +12,17 @@ using namespace nbctune;
 using namespace nbctune::bench;
 
 int main(int argc, char** argv) {
-  const auto scale = Scale::from_args(argc, argv);
+  Driver drv("fig10", argc, argv);
   adcl::TuningOptions tuning;
-  tuning.tests_per_function = scale.full ? 3 : 2;
-  const int iters = 3 * tuning.tests_per_function + (scale.full ? 16 : 9);
+  tuning.tests_per_function = drv.full() ? 3 : 2;
+  const int iters = 3 * tuning.tests_per_function + (drv.full() ? 16 : 9);
 
   struct Case {
     int nprocs;
     int grid_n;  // N = 8P (eight planes per rank)
   };
   std::vector<Case> cases = {{160, 1280}};
-  if (scale.full) cases.push_back({358, 2864});  // paper scale
+  if (drv.full()) cases.push_back({358, 2864});  // paper scale
 
   // One pool task per (case, pattern, backend) run: 3 backends per row.
   struct Unit {
@@ -38,11 +38,10 @@ int main(int argc, char** argv) {
       units.push_back({c, p, fft::Backend::Adcl});
     }
   }
-  harness::ScenarioPool pool(scale.threads);
   std::vector<FftRun> results(units.size());
   {
-    SweepTimer timer("fig10 sweep", pool.threads());
-    pool.run_indexed(units.size(), [&](std::size_t i) {
+    auto timer = drv.timer();
+    drv.pool().run_indexed(units.size(), [&](std::size_t i) {
       const Unit& u = units[i];
       const adcl::TuningOptions opts =
           u.backend == fft::Backend::Adcl ? tuning : adcl::TuningOptions{};

@@ -16,18 +16,18 @@ using namespace nbctune;
 using namespace nbctune::bench;
 
 int main(int argc, char** argv) {
-  const auto scale = Scale::from_args(argc, argv);
+  Driver drv("fig11", argc, argv);
   adcl::TuningOptions tuning;
-  tuning.tests_per_function = scale.full ? 3 : 2;
+  tuning.tests_per_function = drv.full() ? 3 : 2;
   // 6 functions in the extended set -> longer learning phase.
-  const int iters = 6 * tuning.tests_per_function + (scale.full ? 16 : 9);
+  const int iters = 6 * tuning.tests_per_function + (drv.full() ? 16 : 9);
 
   struct Case {
     int nprocs;
     int grid_n;  // N = 8P (eight planes per rank)
   };
   std::vector<Case> cases = {{160, 1280}};
-  if (scale.full) cases.push_back({358, 2864});  // paper scale
+  if (drv.full()) cases.push_back({358, 2864});  // paper scale
 
   // One pool task per (case, pattern, backend) run.
   struct Unit {
@@ -42,11 +42,10 @@ int main(int argc, char** argv) {
       units.push_back({c, p, true});
     }
   }
-  harness::ScenarioPool pool(scale.threads);
   std::vector<FftRun> results(units.size());
   {
-    SweepTimer timer("fig11 sweep", pool.threads());
-    pool.run_indexed(units.size(), [&](std::size_t i) {
+    auto timer = drv.timer();
+    drv.pool().run_indexed(units.size(), [&](std::size_t i) {
       const Unit& u = units[i];
       results[i] =
           u.adcl ? run_fft(net::whale(), u.c.nprocs, u.c.grid_n, u.pattern,

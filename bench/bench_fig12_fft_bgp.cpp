@@ -15,17 +15,17 @@ using namespace nbctune;
 using namespace nbctune::bench;
 
 int main(int argc, char** argv) {
-  const auto scale = Scale::from_args(argc, argv);
+  Driver drv("fig12", argc, argv);
   adcl::TuningOptions tuning;
   tuning.tests_per_function = 2;
   const int iters = 6 * tuning.tests_per_function + 9;
-  const int nprocs = scale.full ? 1024 : 128;
+  const int nprocs = drv.full() ? 1024 : 128;
   const int grid_n = 8 * nprocs;  // eight planes per rank
 
   harness::banner(
       "Fig 12: 3-D FFT, extended ADCL function-set vs MPI — BlueGene/P, " +
       std::to_string(nprocs) + " procs, N=" + std::to_string(grid_n) +
-      (scale.full ? "" : "  [scaled down from the paper's 1024 procs to"
+      (drv.full() ? "" : "  [scaled down from the paper's 1024 procs to"
                          " keep the P^2-message transposes tractable]"));
   harness::Table t({"pattern", "MPI[s]", "ADCL+b[s]", "MPI_postK[s]",
                     "ADCL+b_postK[s]", "ADCL winner", "decided@"});
@@ -39,11 +39,10 @@ int main(int argc, char** argv) {
     units.push_back({p, false});
     units.push_back({p, true});
   }
-  harness::ScenarioPool pool(scale.threads);
   std::vector<FftRun> results(units.size());
   {
-    SweepTimer timer("fig12 sweep", pool.threads());
-    pool.run_indexed(units.size(), [&](std::size_t i) {
+    auto timer = drv.timer();
+    drv.pool().run_indexed(units.size(), [&](std::size_t i) {
       const Unit& u = units[i];
       results[i] = u.adcl ? run_fft(net::bluegene_p(), nprocs, grid_n,
                                     u.pattern, fft::Backend::Adcl, iters,

@@ -14,7 +14,7 @@ using namespace nbctune;
 using namespace nbctune::harness;
 
 int main(int argc, char** argv) {
-  const auto scale = bench::Scale::from_args(argc, argv);
+  bench::Driver drv("fig2", argc, argv);
   struct Case {
     net::Platform platform;
     int nprocs;
@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
       {net::whale(), 32},  {net::whale(), 128},  {net::crill(), 32},
       {net::crill(), 128}, {net::crill(), 256},
   };
-  const int tests = scale.full ? 8 : 4;
+  const int tests = drv.full() ? 8 : 4;
   auto scenario = [&](const Case& c) {
     MicroScenario s;
     s.platform = c.platform;
@@ -33,16 +33,15 @@ int main(int argc, char** argv) {
     // Paper: 50 s compute over 1000 iterations = 50 ms per iteration.
     s.compute_per_iter = 50e-3;
     s.progress_calls = 5;
-    s.iterations = 3 * tests + (scale.full ? 20 : 8);
+    s.iterations = 3 * tests + (drv.full() ? 20 : 8);
     return s;
   };
   // One task per case; each task runs its fixed implementations and both
   // ADCL policies against its own engines.
-  ScenarioPool pool(scale.threads);
   std::vector<VerificationRun> runs(cases.size());
   {
-    bench::SweepTimer timer("fig2 sweep", pool.threads());
-    pool.run_indexed(cases.size(), [&](std::size_t i) {
+    auto timer = drv.timer();
+    drv.pool().run_indexed(cases.size(), [&](std::size_t i) {
       runs[i] = run_verification(scenario(cases[i]), tests);
     });
   }

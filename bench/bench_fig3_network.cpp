@@ -14,8 +14,7 @@ using namespace nbctune;
 using namespace nbctune::harness;
 
 int main(int argc, char** argv) {
-  const auto scale = bench::Scale::from_args(argc, argv);
-  ScenarioPool pool(scale.threads);
+  bench::Driver drv("fig3", argc, argv);
   for (const auto& platform : {net::whale(), net::whale_tcp()}) {
     MicroScenario s;
     s.platform = platform;
@@ -24,12 +23,12 @@ int main(int argc, char** argv) {
     s.bytes = 128 * 1024;
     s.compute_per_iter = 50e-3;
     s.progress_calls = 5;
-    s.iterations = scale.full ? 24 : 8;
+    s.iterations = drv.full() ? 24 : 8;
     s.noise_scale = 0.0;  // systematic comparison: noise off
     bench::print_fixed_comparison(
         "Fig 3: network influence — Ialltoall implementations on " +
             platform.name,
-        s, pool);
+        s, drv.pool());
   }
   return 0;
 }

@@ -14,8 +14,7 @@ using namespace nbctune;
 using namespace nbctune::harness;
 
 int main(int argc, char** argv) {
-  const auto scale = bench::Scale::from_args(argc, argv);
-  ScenarioPool pool(scale.threads);
+  bench::Driver drv("fig4", argc, argv);
   for (std::size_t bytes : {std::size_t{1024}, std::size_t{128 * 1024}}) {
     MicroScenario s;
     s.platform = net::crill();
@@ -24,12 +23,12 @@ int main(int argc, char** argv) {
     s.bytes = bytes;
     s.compute_per_iter = 10e-3;  // 10 s over 1000 iterations
     s.progress_calls = 5;
-    s.iterations = scale.full ? 16 : 6;
+    s.iterations = drv.full() ? 16 : 6;
     s.noise_scale = 0.0;  // systematic comparison: noise off
     bench::print_fixed_comparison(
         "Fig 4: message-size influence — crill, 256 procs, " +
             std::to_string(bytes / 1024) + " KB per pair",
-        s, pool);
+        s, drv.pool());
   }
   return 0;
 }

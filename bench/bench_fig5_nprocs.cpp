@@ -16,8 +16,7 @@ using namespace nbctune;
 using namespace nbctune::harness;
 
 int main(int argc, char** argv) {
-  const auto scale = bench::Scale::from_args(argc, argv);
-  ScenarioPool pool(scale.threads);
+  bench::Driver drv("fig5", argc, argv);
   for (int nprocs : {32, 128}) {
     MicroScenario s;
     s.platform = net::whale();
@@ -26,12 +25,12 @@ int main(int argc, char** argv) {
     s.bytes = 1024;
     s.compute_per_iter = 1e-3;
     s.progress_calls = 100;
-    s.iterations = scale.full ? 40 : 12;
+    s.iterations = drv.full() ? 40 : 12;
     s.noise_scale = 0.0;  // systematic comparison: noise off
     bench::print_fixed_comparison(
         "Fig 5: process-count influence — whale, 1 KB, " +
             std::to_string(nprocs) + " procs",
-        s, pool);
+        s, drv.pool());
   }
   return 0;
 }

@@ -13,7 +13,7 @@ using namespace nbctune;
 using namespace nbctune::harness;
 
 int main(int argc, char** argv) {
-  const auto scale = bench::Scale::from_args(argc, argv);
+  bench::Driver drv("fig6", argc, argv);
   harness::banner(
       "Fig 6: progress-call count vs execution time — Ibcast, whale, "
       "32 procs, 1 KB, 50 ms compute/iter (binomial/seg32k)");
@@ -23,18 +23,17 @@ int main(int argc, char** argv) {
   s.op = OpKind::Ibcast;
   s.bytes = 1024;
   s.compute_per_iter = 50e-3;
-  s.iterations = scale.full ? 30 : 10;
+  s.iterations = drv.full() ? 30 : 10;
   s.noise_scale = 0.0;  // systematic comparison: noise off
   auto fset = scenario_functionset(s);
   const int impl = fset->find_by_name("binomial/seg32k");
 
   harness::Table t({"progress_calls", "loop_time[s]", "vs_pc1"});
   const std::vector<int> pcs = {0, 1, 2, 5, 10, 100, 1000, 10000};
-  ScenarioPool pool(scale.threads);
   std::vector<RunOutcome> runs(pcs.size());
   {
-    bench::SweepTimer timer("fig6 sweep", pool.threads());
-    pool.run_indexed(pcs.size(), [&](std::size_t i) {
+    auto timer = drv.timer();
+    drv.pool().run_indexed(pcs.size(), [&](std::size_t i) {
       MicroScenario si = s;
       si.progress_calls = pcs[i];
       runs[i] = run_fixed(si, impl);

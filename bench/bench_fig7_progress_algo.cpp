@@ -15,7 +15,7 @@ using namespace nbctune;
 using namespace nbctune::harness;
 
 int main(int argc, char** argv) {
-  const auto scale = bench::Scale::from_args(argc, argv);
+  bench::Driver drv("fig7", argc, argv);
   harness::banner(
       "Fig 7: progress-call count changes the optimal Ialltoall algorithm "
       "— crill, 32 procs (one node), 128 KB, 100 ms compute/iter");
@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   s.op = OpKind::Ialltoall;
   s.bytes = 128 * 1024;
   s.compute_per_iter = 100e-3;
-  s.iterations = scale.full ? 20 : 8;
+  s.iterations = drv.full() ? 20 : 8;
   s.noise_scale = 0.0;  // systematic comparison: noise off
   auto fset = scenario_functionset(s);
 
@@ -35,11 +35,10 @@ int main(int argc, char** argv) {
   // The whole (progress_calls x implementation) grid runs as one batch.
   const std::vector<int> pcs = {1, 2, 5, 10, 100};
   const std::size_t nfun = fset->size();
-  ScenarioPool pool(scale.threads);
   std::vector<RunOutcome> grid(pcs.size() * nfun);
   {
-    bench::SweepTimer timer("fig7 sweep", pool.threads());
-    pool.run_indexed(grid.size(), [&](std::size_t i) {
+    auto timer = drv.timer();
+    drv.pool().run_indexed(grid.size(), [&](std::size_t i) {
       MicroScenario si = s;
       si.progress_calls = pcs[i / nfun];
       grid[i] = run_fixed(si, static_cast<int>(i % nfun));

@@ -13,10 +13,10 @@ using namespace nbctune;
 using namespace nbctune::bench;
 
 int main(int argc, char** argv) {
-  const auto scale = Scale::from_args(argc, argv);
+  Driver drv("fig9", argc, argv);
   adcl::TuningOptions tuning;
-  tuning.tests_per_function = scale.full ? 3 : 2;
-  const int iters = 3 * tuning.tests_per_function + (scale.full ? 16 : 9);
+  tuning.tests_per_function = drv.full() ? 3 : 2;
+  const int iters = 3 * tuning.tests_per_function + (drv.full() ? 16 : 9);
 
   struct Case {
     int nprocs;
@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
                  // patterns genuinely differ (see fft3d.hpp)
   };
   std::vector<Case> cases = {{96, 768}, {160, 1280}};
-  if (scale.full) cases.push_back({500, 4000});  // paper scale
+  if (drv.full()) cases.push_back({500, 4000});  // paper scale
 
   // One pool task per (case, pattern, backend) run.
   struct Unit {
@@ -39,11 +39,10 @@ int main(int argc, char** argv) {
       units.push_back({c, p, true});
     }
   }
-  harness::ScenarioPool pool(scale.threads);
   std::vector<FftRun> results(units.size());
   {
-    SweepTimer timer("fig9 sweep", pool.threads());
-    pool.run_indexed(units.size(), [&](std::size_t i) {
+    auto timer = drv.timer();
+    drv.pool().run_indexed(units.size(), [&](std::size_t i) {
       const Unit& u = units[i];
       results[i] = u.adcl
                        ? run_fft(net::crill(), u.c.nprocs, u.c.grid_n,

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "harness/microbench.hpp"
 #include "harness/scenario_pool.hpp"
 #include "harness/table.hpp"
+#include "trace/trace.hpp"
 
 namespace nbctune::bench {
 
@@ -20,15 +22,30 @@ namespace nbctune::bench {
 /// `--threads N` (or NBCTUNE_THREADS) shards independent scenarios across
 /// a ScenarioPool; results are aggregated in submission order, so stdout
 /// is byte-identical at any thread count (timing goes to stderr).
+/// `--trace <file>` writes a Chrome trace-event JSON of every simulated
+/// scenario (load in ui.perfetto.dev); `--trace-counters <file>` writes
+/// the flat counter/histogram dump for CI diffing.  Both exports are
+/// byte-deterministic at any thread count and never touch stdout.
 struct Scale {
   bool full = false;
   int threads = 0;  ///< 0 = auto (NBCTUNE_THREADS, then hardware)
+  std::string trace_path;     ///< Chrome trace-event JSON output, if set
+  std::string counters_path;  ///< flat counter dump output, if set
+  [[nodiscard]] bool tracing() const noexcept {
+    return !trace_path.empty() || !counters_path.empty();
+  }
   static Scale from_args(int argc, char** argv) {
     Scale s;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--full") == 0) s.full = true;
       if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
         s.threads = std::atoi(argv[++i]);
+      }
+      if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        s.trace_path = argv[++i];
+      }
+      if (std::strcmp(argv[i], "--trace-counters") == 0 && i + 1 < argc) {
+        s.counters_path = argv[++i];
       }
     }
     return s;
@@ -56,6 +73,57 @@ class SweepTimer {
   std::string label_;
   int threads_;
   std::chrono::steady_clock::time_point t0_;
+};
+
+/// The shared spine of every bench driver: parses the common CLI flags,
+/// owns the ScenarioPool, enables the trace session when `--trace` /
+/// `--trace-counters` is given, and exports the trace files on
+/// destruction.  Replaces the Scale/pool/SweepTimer boilerplate that each
+/// driver used to carry.
+class Driver {
+ public:
+  Driver(std::string name, int argc, char** argv)
+      : name_(std::move(name)),
+        scale_(Scale::from_args(argc, argv)),
+        pool_(scale_.threads) {
+    if (scale_.tracing()) trace::Session::enable();
+  }
+
+  ~Driver() {
+    if (!scale_.tracing()) return;
+    const auto& session = trace::Session::instance();
+    if (!scale_.trace_path.empty()) {
+      std::ofstream os(scale_.trace_path);
+      session.write_chrome(os);
+      std::cerr << "[" << name_ << "] trace: " << session.size()
+                << " scenario(s), " << session.total_events()
+                << " event(s) -> " << scale_.trace_path << "\n";
+    }
+    if (!scale_.counters_path.empty()) {
+      std::ofstream os(scale_.counters_path);
+      session.write_counters(os);
+      std::cerr << "[" << name_ << "] counters -> " << scale_.counters_path
+                << "\n";
+    }
+  }
+
+  Driver(const Driver&) = delete;
+  Driver& operator=(const Driver&) = delete;
+
+  [[nodiscard]] const Scale& scale() const noexcept { return scale_; }
+  [[nodiscard]] bool full() const noexcept { return scale_.full; }
+  [[nodiscard]] harness::ScenarioPool& pool() noexcept { return pool_; }
+  [[nodiscard]] int threads() const noexcept { return pool_.threads(); }
+
+  /// Wall-clock scope for the sweep phase (stderr only).
+  [[nodiscard]] SweepTimer timer() const {
+    return SweepTimer(name_ + " sweep", pool_.threads());
+  }
+
+ private:
+  std::string name_;
+  Scale scale_;
+  harness::ScenarioPool pool_;
 };
 
 /// Print one verification run as a figure-style table: every fixed

@@ -14,7 +14,7 @@ using namespace nbctune;
 using namespace nbctune::harness;
 
 int main(int argc, char** argv) {
-  const auto scale = bench::Scale::from_args(argc, argv);
+  bench::Driver drv("verification-sweep", argc, argv);
   harness::banner("Verification-run sweep: fraction of correct decisions");
   int total = 0, bf_ok = 0, heur_ok = 0;
   harness::Table t({"op", "platform", "nprocs", "bytes", "pc", "best_fixed",
@@ -25,14 +25,14 @@ int main(int argc, char** argv) {
     std::vector<int> nprocs;
   };
   const std::vector<P> platforms = {
-      {net::whale(), {32, scale.full ? 128 : 64}},
-      {net::crill(), {32, scale.full ? 128 : 96}},
+      {net::whale(), {32, drv.full() ? 128 : 64}},
+      {net::crill(), {32, drv.full() ? 128 : 96}},
   };
   const std::vector<std::size_t> a2a_sizes = {1024, 128 * 1024};
   const std::vector<std::size_t> bcast_sizes = {1024,
-                                                scale.full ? 2u * 1024 * 1024
+                                                drv.full() ? 2u * 1024 * 1024
                                                            : 256u * 1024};
-  const std::vector<int> pcs = scale.full ? std::vector<int>{1, 5, 100}
+  const std::vector<int> pcs = drv.full() ? std::vector<int>{1, 5, 100}
                                           : std::vector<int>{5, 100};
   const int tests = 3;
 
@@ -68,11 +68,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  ScenarioPool pool(scale.threads);
   std::vector<VerificationRun> runs(scenarios.size());
   {
-    bench::SweepTimer timer("verification sweep", pool.threads());
-    pool.run_indexed(scenarios.size(), [&](std::size_t i) {
+    auto timer = drv.timer();
+    drv.pool().run_indexed(scenarios.size(), [&](std::size_t i) {
       runs[i] = run_verification(scenarios[i], tests);
     });
   }

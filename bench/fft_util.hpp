@@ -28,6 +28,10 @@ inline FftRun run_fft(const net::Platform& platform, int nprocs, int grid_n,
                       const adcl::TuningOptions& tuning = {},
                       bool extended_set = false, int progress_calls = 4,
                       std::uint64_t seed = 1) {
+  trace::Scope scope(std::string("fft3d ") + platform.name + " np" +
+                     std::to_string(nprocs) + " n" + std::to_string(grid_n) +
+                     " " + fft::pattern_name(pattern) + " " +
+                     fft::backend_name(backend));
   FftRun out;
   sim::Engine engine(seed);
   net::Machine machine(platform);

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace nbctune::adcl {
 
 double quantile(std::vector<double> s, double q) {
@@ -56,6 +58,8 @@ double robust_score(const std::vector<double>& samples, FilterKind kind,
                     double trim_frac) {
   if (samples.empty()) return std::numeric_limits<double>::infinity();
   const std::vector<double> kept = filtered_samples(samples, kind, trim_frac);
+  trace::count(trace::Ctr::AdclSamplesSeen, samples.size());
+  trace::count(trace::Ctr::AdclSamplesFiltered, samples.size() - kept.size());
   return std::accumulate(kept.begin(), kept.end(), 0.0) /
          static_cast<double>(kept.size());
 }

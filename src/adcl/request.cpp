@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "adcl/history.hpp"
+#include "trace/trace.hpp"
 
 namespace nbctune::adcl {
 
@@ -75,12 +76,17 @@ void Request::wait() {
   if (!active_) throw std::logic_error("Request::wait without init");
   handle_->wait();
   active_ = false;
+  trace::record(trace::Hist::ProgressPerOp, progress_calls_);
+  progress_calls_ = 0;
   if (!timer_driven_) {
     state_->record(ctx_, args_.comm, ctx_.now() - init_time_);
   }
 }
 
-void Request::progress() { ctx_.progress(); }
+void Request::progress() {
+  ++progress_calls_;
+  ctx_.progress();
+}
 
 int Request::recommended_progress_calls(int fallback) const {
   const int attr = fset_->attributes().index_of("progress");

@@ -15,6 +15,7 @@
 // attributed to the implementation that executed in that section.  Without
 // a timer, a request self-times from init() to the end of wait().
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -94,6 +95,7 @@ class Request {
   bool active_ = false;
   bool timer_driven_ = false;
   double init_time_ = 0.0;
+  std::uint64_t progress_calls_ = 0;  // explicit calls this iteration
 };
 
 /// Decouples measurement from the operation (paper §III-D, Fig. 1):

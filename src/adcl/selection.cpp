@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "adcl/history.hpp"
+#include "trace/trace.hpp"
 
 namespace nbctune::adcl {
 
@@ -385,6 +386,12 @@ void SelectionState::record(mpi::Ctx& ctx, const mpi::Comm& comm,
   const double agreed = ctx.allreduce(comm, local, mpi::ReduceOp::Max);
   batch_.clear();
   scores_[current_] = agreed;
+  trace::count(trace::Ctr::AdclBatchesScored);
+  if (trace::active()) {
+    trace::instant(ctx.now(), ctx.world_rank(), trace::Cat::Adcl, "adcl.score",
+                   "func", static_cast<std::uint64_t>(current_), "iter",
+                   static_cast<std::uint64_t>(iterations_));
+  }
   const int nxt = policy_->next(current_, agreed);
   if (nxt < 0) {
     finalize(ctx);
@@ -400,6 +407,13 @@ void SelectionState::finalize(mpi::Ctx& ctx) {
   current_ = winner_;
   decision_iteration_ = iterations_;
   decision_time_ = ctx.now();
+  trace::count(trace::Ctr::AdclDecisions);
+  if (trace::active()) {
+    trace::instant(ctx.now(), ctx.world_rank(), trace::Cat::Adcl,
+                   "adcl.decision", "winner",
+                   static_cast<std::uint64_t>(winner_), "iter",
+                   static_cast<std::uint64_t>(decision_iteration_));
+  }
   if (opts_.history != nullptr && !history_key_.empty()) {
     opts_.history->put(history_key_, fset_->function(winner_).name);
   }

@@ -23,6 +23,7 @@ nbc::Schedule build_iallgather_linear(int me, int n, const void* sbuf,
     s.send(sbuf, block, to);
   }
   s.finalize();
+  nbc::trace_built(s, "iallgather.linear", me);
   return s;
 }
 
@@ -41,6 +42,7 @@ nbc::Schedule build_iallgather_ring(int me, int n, const void* sbuf,
     s.barrier();
   }
   s.finalize();
+  nbc::trace_built(s, "iallgather.ring", me);
   return s;
 }
 
@@ -64,6 +66,7 @@ nbc::Schedule build_iallgather_recursive_doubling(int me, int n,
     s.barrier();
   }
   s.finalize();
+  nbc::trace_built(s, "iallgather.recursive_doubling", me);
   return s;
 }
 

@@ -28,6 +28,7 @@ nbc::Schedule build_ialltoall_linear(int me, int n, const void* sbuf,
     s.send(blk(sbuf, block, to), block, to);
   }
   s.finalize();
+  nbc::trace_built(s, "ialltoall.linear", me);
   return s;
 }
 
@@ -44,6 +45,7 @@ nbc::Schedule build_ialltoall_pairwise(int me, int n, const void* sbuf,
     s.barrier();
   }
   s.finalize();
+  nbc::trace_built(s, "ialltoall.pairwise", me);
   return s;
 }
 
@@ -94,6 +96,7 @@ nbc::Schedule build_ialltoall_bruck(int me, int n, const void* sbuf,
            blk(rbuf, block, (me - i + n) % n), block);
   }
   s.finalize();
+  nbc::trace_built(s, "ialltoall.bruck", me);
   return s;
 }
 

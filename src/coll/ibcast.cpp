@@ -49,6 +49,7 @@ nbc::Schedule build_ibcast(int me, int n, void* buf, std::size_t bytes,
   nbc::Schedule s;
   if (n == 1 || bytes == 0) {
     s.finalize();
+    nbc::trace_built(s, "ibcast", me);
     return s;
   }
   const int v = (me - root + n) % n;
@@ -95,6 +96,7 @@ nbc::Schedule build_ibcast(int me, int n, void* buf, std::size_t bytes,
     s.barrier();
   }
   s.finalize();
+  nbc::trace_built(s, "ibcast", me);
   return s;
 }
 

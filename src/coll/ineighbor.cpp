@@ -90,6 +90,7 @@ nbc::Schedule build_ineighbor_all_at_once(const CartTopo& topo, int me,
     post_dim(s, topo, me, dim, sbuf, rbuf, block);
   }
   s.finalize();
+  nbc::trace_built(s, "ineighbor.all_at_once", me);
   return s;
 }
 
@@ -102,6 +103,7 @@ nbc::Schedule build_ineighbor_dimension_ordered(const CartTopo& topo, int me,
     s.barrier();  // finish this dimension before starting the next
   }
   s.finalize();
+  nbc::trace_built(s, "ineighbor.dimension_ordered", me);
   return s;
 }
 
@@ -132,6 +134,7 @@ nbc::Schedule build_ineighbor_even_odd(const CartTopo& topo, int me,
     }
   }
   s.finalize();
+  nbc::trace_built(s, "ineighbor.even_odd", me);
   return s;
 }
 

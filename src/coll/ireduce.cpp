@@ -47,6 +47,7 @@ nbc::Schedule build_ireduce_binomial(int me, int n, const void* sbuf,
     s.send(acc, bytes, parent);
   }
   s.finalize();
+  nbc::trace_built(s, "ireduce.binomial", me);
   return s;
 }
 
@@ -92,6 +93,7 @@ nbc::Schedule build_ireduce_chain(int me, int n, const void* sbuf, void* rbuf,
     }
   }
   s.finalize();
+  nbc::trace_built(s, "ireduce.chain", me);
   return s;
 }
 

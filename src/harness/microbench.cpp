@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "mpi/world.hpp"
 #include "net/machine.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 
 namespace nbctune::harness {
 
@@ -23,10 +25,21 @@ std::shared_ptr<const adcl::FunctionSet> scenario_functionset(
 
 namespace {
 
+/// Trace-scope label identifying one scenario run.
+std::string scenario_label(const MicroScenario& s, const std::string& what) {
+  return std::string(op_name(s.op)) + " " + s.platform.name + " np" +
+         std::to_string(s.nprocs) + " " + std::to_string(s.bytes) + "B " +
+         what;
+}
+
 /// Executes the loop on every rank; returns the filled outcome (rank 0's
 /// view, which all ranks agree on).
 RunOutcome run_loop(const MicroScenario& s,
-                    const adcl::TuningOptions& tuning, int pinned) {
+                    const adcl::TuningOptions& tuning, int pinned,
+                    const std::string& label) {
+  // One trace scope per simulated scenario: a no-op unless the process
+  // enabled the trace session (bench --trace).
+  trace::Scope scope(label);
   RunOutcome out;
   sim::Engine engine(s.seed);
   net::Machine machine(s.platform);
@@ -107,7 +120,9 @@ RunOutcome run_fixed(const MicroScenario& s, int func_idx) {
     throw std::invalid_argument("run_fixed: bad function index");
   }
   adcl::TuningOptions tuning;  // irrelevant: selection is forced
-  RunOutcome out = run_loop(s, tuning, func_idx);
+  RunOutcome out = run_loop(
+      s, tuning, func_idx,
+      scenario_label(s, "fixed:" + fset->function(func_idx).name));
   out.impl = fset->function(func_idx).name;
   out.post_decision_time = out.loop_time;
   out.post_decision_iterations = s.iterations;
@@ -115,7 +130,9 @@ RunOutcome run_fixed(const MicroScenario& s, int func_idx) {
 }
 
 RunOutcome run_adcl(const MicroScenario& s, adcl::TuningOptions opts) {
-  return run_loop(s, opts, -1);
+  return run_loop(
+      s, opts, -1,
+      scenario_label(s, std::string("adcl:") + adcl::policy_name(opts.policy)));
 }
 
 VerificationRun run_verification(const MicroScenario& s,

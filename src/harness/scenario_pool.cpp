@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "trace/trace.hpp"
+
 namespace nbctune::harness {
 
 namespace {
@@ -98,6 +100,12 @@ struct ScenarioPool::Impl {
   }
 
   void run_task(std::size_t idx) {
+    // Route traces finished inside this task into its submission-order
+    // slot; the batch adopts slots by index afterwards, so a traced sweep
+    // exports byte-identically at any thread count.
+    std::vector<trace::FinishedTrace>* prev_staging = nullptr;
+    const bool tracing = staged != nullptr;
+    if (tracing) prev_staging = trace::Session::set_staging(&(*staged)[idx]);
     try {
       (*fn)(idx);
     } catch (...) {
@@ -107,6 +115,7 @@ struct ScenarioPool::Impl {
         error = std::current_exception();
       }
     }
+    if (tracing) trace::Session::set_staging(prev_staging);
     if (unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lk(mu);
       done_cv.notify_all();
@@ -114,9 +123,15 @@ struct ScenarioPool::Impl {
   }
 
   void run_batch(std::size_t n, const std::function<void(std::size_t)>& f) {
+    std::vector<std::vector<trace::FinishedTrace>> staging;
+    const bool tracing = trace::Session::enabled();
     {
       std::lock_guard<std::mutex> lk(mu);
       fn = &f;
+      if (tracing) {
+        staging.resize(n);
+        staged = &staging;
+      }
       error = nullptr;
       error_index = kNoError;
       unfinished.store(n, std::memory_order_relaxed);
@@ -139,6 +154,13 @@ struct ScenarioPool::Impl {
       return unfinished.load(std::memory_order_acquire) == 0;
     });
     fn = nullptr;
+    staged = nullptr;
+    if (tracing) {
+      // Submission-order merge: slot i holds everything task i produced.
+      for (auto& slot : staging) {
+        for (auto& t : slot) trace::Session::instance().adopt(std::move(t));
+      }
+    }
     if (error != nullptr) std::rethrow_exception(error);
   }
 
@@ -148,6 +170,9 @@ struct ScenarioPool::Impl {
   std::condition_variable work_cv;
   std::condition_variable done_cv;
   const std::function<void(std::size_t)>* fn = nullptr;
+  // Per-task trace staging slots of the active batch (null when the trace
+  // session is disabled); written under `mu` before the batch starts.
+  std::vector<std::vector<trace::FinishedTrace>>* staged = nullptr;
   std::atomic<std::size_t> unfinished{0};
   std::uint64_t batch_id = 0;
   bool shutdown = false;

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace nbctune::mpi {
 
 using detail::Envelope;
@@ -109,10 +111,24 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
   const auto& p = machine_.platform();
   const std::size_t wire_bytes =
       env.kind == Envelope::Kind::Eager ? env.bytes : kCtrlBytes;
+  const char* wire_what;
   if (env.kind == Envelope::Kind::Eager) {
     ++src.data_msgs;
+    wire_what = "wire.eager";
+    trace::count(trace::Ctr::MsgsEager);
   } else {
     ++src.ctrl_msgs;
+    wire_what = env.kind == Envelope::Kind::Rts ? "wire.rts" : "wire.cts";
+    trace::count(env.kind == Envelope::Kind::Rts ? trace::Ctr::MsgsRts
+                                                 : trace::Ctr::MsgsCts);
+  }
+  if (trace::active()) {
+    trace::instant(earliest, env.src, trace::Cat::Msg,
+                   env.kind == Envelope::Kind::Eager ? "msg.eager"
+                   : env.kind == Envelope::Kind::Rts ? "msg.rts"
+                                                     : "msg.cts",
+                   "dst", static_cast<std::uint64_t>(env.dst), "bytes",
+                   env.bytes);
   }
 
   // Only payload-bearing messages count towards receive-side congestion;
@@ -126,10 +142,11 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
     // Shared memory: serialize on the node's memory port; flooding the
     // port from many concurrent flows thrashes it (congestion factor).
     const double factor = machine_.congestion_factor(dst_node, /*intra=*/true);
-    auto slot = machine_.mem(src_node).reserve(
-        earliest,
+    auto slot = machine_.reserve_mem(
+        src_node, earliest,
         static_cast<double>(wire_bytes) * p.mem_byte_time * factor +
-            p.intra.msg_gap);
+            p.intra.msg_gap,
+        wire_what, wire_bytes);
     local_done = slot.end;
     arrival = slot.end + p.intra.latency;
   } else {
@@ -137,16 +154,18 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
     const int rnic = machine_.nic_for(dst_node, src_node);
     const double tx_time =
         static_cast<double>(wire_bytes) * p.inter.byte_time + p.inter.msg_gap;
-    auto tx = machine_.nic_tx(src_node, nic).reserve(earliest, tx_time);
+    auto tx = machine_.reserve_tx(src_node, nic, earliest, tx_time, wire_what,
+                                  wire_bytes);
     const double lat = machine_.latency(src_node, dst_node);
     // Receive side pays a per-message gap too (NIC message-rate limit)
     // and slows down under incast (congestion factor).
     const double factor = machine_.congestion_factor(dst_node, /*intra=*/false);
-    auto rx = machine_.nic_rx(dst_node, rnic).reserve(
-        tx.start + lat,
+    auto rx = machine_.reserve_rx(
+        dst_node, rnic, tx.start + lat,
         (static_cast<double>(wire_bytes) * p.inter.byte_time +
          p.inter.msg_gap) *
-            factor);
+            factor,
+        wire_what, wire_bytes);
     local_done = tx.end;
     arrival = rx.end;
   }
@@ -162,6 +181,11 @@ void World::deliver(Envelope env) {
   const int dst_rank = env.dst;
   RankState& dst = *ranks_[dst_rank];
   env.arrival_seq = dst.next_arrival_seq++;
+  if (trace::active()) {
+    trace::instant(engine_.now(), dst_rank, trace::Cat::Msg, "msg.deliver",
+                   "src", static_cast<std::uint64_t>(env.src), "bytes",
+                   env.bytes);
+  }
   dst.inbound.push_back(std::move(env));
   notify(dst_rank);
 }
@@ -174,27 +198,35 @@ void World::start_nic_bulk(int src, int dst, Req sreq, std::uint64_t dst_match,
   const int src_node = srs.node;
   const int dst_node = ranks_[dst]->node;
   ++srs.data_msgs;
+  trace::count(trace::Ctr::MsgsNicBulks);
+  if (trace::active()) {
+    trace::instant(earliest, src, trace::Cat::Msg, "msg.bulk_nic", "dst",
+                   static_cast<std::uint64_t>(dst), "bytes", bytes);
+  }
   machine_.add_inflight(dst_node);
   sim::Time send_done, recv_done;
   if (src_node == dst_node) {
     // Should not happen: intra-node rendezvous uses the CPU-copy path.
     const double factor = machine_.congestion_factor(dst_node, /*intra=*/true);
-    auto slot = machine_.mem(src_node).reserve(
-        earliest, static_cast<double>(bytes) * p.mem_byte_time * factor);
+    auto slot = machine_.reserve_mem(
+        src_node, earliest, static_cast<double>(bytes) * p.mem_byte_time * factor,
+        "wire.bulk", bytes);
     send_done = slot.end;
     recv_done = slot.end + p.intra.latency;
   } else {
     const int nic = machine_.nic_for(src_node, dst_node);
     const int rnic = machine_.nic_for(dst_node, src_node);
-    auto tx = machine_.nic_tx(src_node, nic).reserve(
-        earliest,
-        static_cast<double>(bytes) * p.inter.byte_time + p.inter.msg_gap);
+    auto tx = machine_.reserve_tx(
+        src_node, nic, earliest,
+        static_cast<double>(bytes) * p.inter.byte_time + p.inter.msg_gap,
+        "wire.bulk", bytes);
     const double lat = machine_.latency(src_node, dst_node);
     const double factor = machine_.congestion_factor(dst_node, /*intra=*/false);
-    auto rx = machine_.nic_rx(dst_node, rnic).reserve(
-        tx.start + lat,
+    auto rx = machine_.reserve_rx(
+        dst_node, rnic, tx.start + lat,
         (static_cast<double>(bytes) * p.inter.byte_time + p.inter.msg_gap) *
-            factor);
+            factor,
+        "wire.bulk", bytes);
     send_done = tx.end;
     recv_done = rx.end;
   }
@@ -249,7 +281,11 @@ void Ctx::compute(double seconds) {
       world_.engine().rng().uniform() < noise.outlier_prob * scale) {
     t *= noise.outlier_factor;
   }
+  const sim::Time t0 = now();
   st().process->sleep(t);
+  if (trace::active()) {
+    trace::span(t0, now() - t0, wrank_, trace::Cat::Progress, "compute");
+  }
 }
 
 void Ctx::progress() { progress_pass(true); }
@@ -566,26 +602,30 @@ void Ctx::push_chunks(double& cpu_cost) {
     const bool same_node = rs.node == dst_node;
     world_.machine().add_inflight(dst_node);
     sim::Time drain_end, arrival;
+    trace::count(trace::Ctr::MsgsBulkChunks);
     if (same_node) {
       const double factor =
           world_.machine().congestion_factor(dst_node, /*intra=*/true);
-      auto slot = world_.machine().mem(rs.node).reserve(
-          now() + cpu_cost,
-          static_cast<double>(chunk) * p.mem_byte_time * factor);
+      auto slot = world_.machine().reserve_mem(
+          rs.node, now() + cpu_cost,
+          static_cast<double>(chunk) * p.mem_byte_time * factor, "wire.chunk",
+          chunk);
       drain_end = slot.end;
       arrival = slot.end + p.intra.latency;
     } else {
       const int nic = world_.machine().nic_for(rs.node, dst_node);
       const int rnic = world_.machine().nic_for(dst_node, rs.node);
-      auto tx = world_.machine().nic_tx(rs.node, nic).reserve(
-          now() + cpu_cost,
-          static_cast<double>(chunk) * p.inter.byte_time + p.inter.msg_gap);
+      auto tx = world_.machine().reserve_tx(
+          rs.node, nic, now() + cpu_cost,
+          static_cast<double>(chunk) * p.inter.byte_time + p.inter.msg_gap,
+          "wire.chunk", chunk);
       const double factor =
           world_.machine().congestion_factor(dst_node, /*intra=*/false);
-      auto rx = world_.machine().nic_rx(dst_node, rnic).reserve(
-          tx.start + world_.machine().latency(rs.node, dst_node),
+      auto rx = world_.machine().reserve_rx(
+          dst_node, rnic, tx.start + world_.machine().latency(rs.node, dst_node),
           (static_cast<double>(chunk) * p.inter.byte_time + p.inter.msg_gap) *
-              factor);
+              factor,
+          "wire.chunk", chunk);
       drain_end = tx.end;
       arrival = rx.end;
     }
@@ -629,6 +669,9 @@ void Ctx::push_chunks(double& cpu_cost) {
 void Ctx::progress_pass(bool explicit_call) {
   RankState& rs = st();
   const auto& p = world_.platform();
+  trace::count(trace::Ctr::ProgressPasses);
+  if (explicit_call) trace::count(trace::Ctr::ProgressCallsExplicit);
+  const sim::Time t0 = now();
   double cost = explicit_call ? p.progress_cost : 0.0;
   cost += p.per_req_poll_cost * static_cast<double>(rs.outstanding);
   if (!rs.inbound.empty()) {
@@ -642,6 +685,10 @@ void Ctx::progress_pass(bool explicit_call) {
     cost += rs.clients[i]->poke(*this);
   }
   charge(cost);
+  if (cost > 0.0 && trace::active()) {
+    trace::span(t0, now() - t0, wrank_, trace::Cat::Progress,
+                explicit_call ? "progress.call" : "progress.pass");
+  }
 }
 
 // ---- public point-to-point ----

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace nbctune::nbc {
 
 namespace {
@@ -42,9 +44,25 @@ void Handle::rebind(const Schedule* schedule) {
   schedule_ = schedule;
 }
 
+void Handle::trace_completion() {
+  trace::count(trace::Ctr::NbcOpsCompleted);
+  trace::record(trace::Hist::RoundsPerOp, round_);
+  if (trace::active()) {
+    trace::span(start_time_, ctx_.now() - start_time_, ctx_.world_rank(),
+                trace::Cat::Nbc, "nbc.op", "rounds", round_, "tag",
+                static_cast<std::uint64_t>(tag_));
+  }
+}
+
 double Handle::post_round(std::size_t r) {
   double cost = 0.0;
   const auto& p = ctx_.world().platform();
+  trace::count(trace::Ctr::NbcRoundsPosted);
+  if (trace::active()) {
+    trace::instant(ctx_.now(), ctx_.world_rank(), trace::Cat::Nbc,
+                   "nbc.round", "round", r, "actions",
+                   schedule_->round(r).size());
+  }
   for (const Action& a : schedule_->round(r)) {
     switch (a.kind) {
       case Action::Kind::Send:
@@ -82,11 +100,21 @@ double Handle::post_round(std::size_t r) {
 void Handle::start() {
   if (active_) throw std::logic_error("start() while operation in flight");
   round_ = 0;
+  start_time_ = ctx_.now();
+  trace::count(trace::Ctr::NbcOpsStarted);
+  if (trace::active()) {
+    trace::instant(start_time_, ctx_.world_rank(), trace::Cat::Nbc,
+                   "nbc.start", "rounds", schedule_->num_rounds(), "tag",
+                   static_cast<std::uint64_t>(tag_));
+  }
   done_ = schedule_->num_rounds() == 0;
   active_ = !done_;
   pending_.clear();
   pending_ptrs_.clear();
-  if (done_) return;
+  if (done_) {
+    trace_completion();
+    return;
+  }
   double cost = post_round(0);
   ctx_.charge(cost);
   // A schedule whose first rounds are local-only completes them here.
@@ -100,6 +128,7 @@ void Handle::start() {
     extra += post_round(round_);
   }
   ctx_.charge(extra);
+  if (done_) trace_completion();
 }
 
 double Handle::poke(mpi::Ctx& ctx) {
@@ -124,6 +153,7 @@ double Handle::poke(mpi::Ctx& ctx) {
       if (++round_ >= schedule_->num_rounds()) {
         done_ = true;
         active_ = false;
+        trace_completion();
         return cost;
       }
       cost += post_round(round_);

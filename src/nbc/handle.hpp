@@ -59,12 +59,14 @@ class Handle : public mpi::ProgressClient {
 
  private:
   double post_round(std::size_t r);  // returns CPU cost of posting
+  void trace_completion();           // emit the op-lifetime span
 
   mpi::Ctx& ctx_;
   mpi::Comm comm_;
   const Schedule* schedule_;
   int tag_;
   std::size_t round_ = 0;
+  double start_time_ = 0.0;  // simulated start, for the op-lifetime span
   std::vector<mpi::Req> pending_;
   // Cached stable pointers to the pending requests: the per-pass
   // completion poll is the hottest loop in the simulator.

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mpi/types.hpp"
+#include "trace/trace.hpp"
 
 namespace nbctune::nbc {
 
@@ -109,5 +110,18 @@ class Schedule {
   std::vector<std::vector<Action>> rounds_;
   std::vector<std::unique_ptr<std::byte[]>> scratch_;
 };
+
+/// Record construction of a finalized schedule.  Every collective builder
+/// calls this just before returning; `what` names the algorithm (string
+/// literal) and `me` is the building rank's track.  Construction happens
+/// outside simulated time, so the instant lands at t = 0.
+inline void trace_built(const Schedule& s, const char* what, int me) {
+  trace::count(trace::Ctr::CollSchedulesBuilt);
+  trace::record(trace::Hist::ScheduleRounds, s.num_rounds());
+  if (trace::active()) {
+    trace::instant(0.0, me, trace::Cat::Coll, what, "rounds", s.num_rounds(),
+                   "sends", s.total_sends());
+  }
+}
 
 }  // namespace nbctune::nbc

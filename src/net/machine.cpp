@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "trace/trace.hpp"
+
 namespace nbctune::net {
 
 Machine::Machine(Platform platform) : platform_(std::move(platform)) {
@@ -27,6 +29,46 @@ Machine::Machine(Platform platform) : platform_(std::move(platform)) {
 sim::Resource& Machine::nic_tx(int node, int nic) { return tx_.at(node).at(nic); }
 sim::Resource& Machine::nic_rx(int node, int nic) { return rx_.at(node).at(nic); }
 sim::Resource& Machine::mem(int node) { return mem_.at(node); }
+
+namespace {
+// Emit the serialization interval on the node's wire track.  Injection
+// sides (tx / mem) also account the payload bytes; receive sides do not,
+// so each transfer is counted once.
+void trace_slot(int node, const sim::Resource::Slot& slot, const char* what,
+                std::uint64_t bytes, bool injects) {
+  if (!trace::active()) return;
+  trace::span(slot.start, slot.end - slot.start, trace::wire_track(node),
+              trace::Cat::Wire, what, "bytes", bytes);
+  if (injects) {
+    trace::count(trace::Ctr::BytesOnWire, bytes);
+    trace::record(trace::Hist::WireBytes, bytes);
+  }
+}
+}  // namespace
+
+sim::Resource::Slot Machine::reserve_tx(int node, int nic, double earliest,
+                                        double seconds, const char* what,
+                                        std::uint64_t bytes) {
+  const auto slot = nic_tx(node, nic).reserve(earliest, seconds);
+  trace_slot(node, slot, what, bytes, /*injects=*/true);
+  return slot;
+}
+
+sim::Resource::Slot Machine::reserve_rx(int node, int nic, double earliest,
+                                        double seconds, const char* what,
+                                        std::uint64_t bytes) {
+  const auto slot = nic_rx(node, nic).reserve(earliest, seconds);
+  trace_slot(node, slot, what, bytes, /*injects=*/false);
+  return slot;
+}
+
+sim::Resource::Slot Machine::reserve_mem(int node, double earliest,
+                                         double seconds, const char* what,
+                                         std::uint64_t bytes) {
+  const auto slot = mem(node).reserve(earliest, seconds);
+  trace_slot(node, slot, what, bytes, /*injects=*/true);
+  return slot;
+}
 
 int Machine::nic_for(int node, int peer_node) const noexcept {
   (void)node;

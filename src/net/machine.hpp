@@ -27,6 +27,18 @@ class Machine {
   /// Node memory port, contended by shared-memory copies.
   sim::Resource& mem(int node);
 
+  // Traced reservations: identical to reserve() on the raw resource, but
+  // emit a wire-track span (and, for the injecting side, byte counters)
+  // when tracing is active.  `what` must be a string literal.
+  sim::Resource::Slot reserve_tx(int node, int nic, double earliest,
+                                 double seconds, const char* what,
+                                 std::uint64_t bytes);
+  sim::Resource::Slot reserve_rx(int node, int nic, double earliest,
+                                 double seconds, const char* what,
+                                 std::uint64_t bytes);
+  sim::Resource::Slot reserve_mem(int node, double earliest, double seconds,
+                                  const char* what, std::uint64_t bytes);
+
   /// Which NIC a message from `node` to remote `peer_node` uses; stripes
   /// across HCAs by peer so multi-rail platforms (crill) spread load while
   /// preserving per-peer ordering.

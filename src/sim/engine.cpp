@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace nbctune::sim {
 
 // ---------------------------------------------------------------- Process
@@ -85,10 +87,12 @@ std::uint64_t Engine::schedule_at(Time t, Callback cb) {
   if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
   const std::uint32_t slot = acquire_slot(std::move(cb));
   const std::uint32_t gen = slot_gen_[slot];
+  trace::count(trace::Ctr::EngineEventsScheduled);
   if (t == now_) {
     // Zero-delay fast path: no heap sift.  FIFO order equals sequence
     // order, and every heap event at this instant predates the clock's
     // arrival here, so heap-before-FIFO preserves global (t, seq) order.
+    trace::count(trace::Ctr::EngineNowFifoHits);
     now_fifo_.push_back(NowEvent{slot, gen});
   } else {
     queue_.push(Event{t, next_seq_++, slot, gen});
@@ -100,6 +104,7 @@ void Engine::cancel(std::uint64_t id) {
   const auto slot = static_cast<std::uint32_t>(id >> 32);
   const auto gen = static_cast<std::uint32_t>(id);
   if (slot < slot_gen_.size() && slot_gen_[slot] == gen) {
+    trace::count(trace::Ctr::EngineEventsCancelled);
     release_slot(slot);
   }
 }
@@ -145,6 +150,7 @@ bool Engine::step(Time limit) {
     Callback cb = std::move(slots_[slot]);
     release_slot(slot);
     ++events_processed_;
+    trace::count(trace::Ctr::EngineEventsFired);
     cb();
     return true;
   }

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace nbctune::sim {
 
 namespace {
@@ -43,6 +45,7 @@ void Fiber::trampoline() {
 void Fiber::resume() {
   if (finished_) throw std::logic_error("resume() on finished fiber");
   if (running_) throw std::logic_error("resume() on running fiber");
+  trace::count(trace::Ctr::FiberSwitches);
   Fiber* prev = g_current;
   g_current = this;
   running_ = true;

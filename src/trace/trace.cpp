@@ -1,0 +1,336 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <set>
+
+namespace nbctune::trace {
+
+const char* cat_name(Cat c) noexcept {
+  switch (c) {
+    case Cat::Engine:
+      return "engine";
+    case Cat::Fiber:
+      return "fiber";
+    case Cat::Msg:
+      return "msg";
+    case Cat::Wire:
+      return "wire";
+    case Cat::Nbc:
+      return "nbc";
+    case Cat::Coll:
+      return "coll";
+    case Cat::Progress:
+      return "progress";
+    case Cat::Adcl:
+      return "adcl";
+    case Cat::Harness:
+      return "harness";
+  }
+  return "?";
+}
+
+const char* ctr_name(Ctr c) noexcept {
+  switch (c) {
+    case Ctr::EngineEventsScheduled:
+      return "engine.events_scheduled";
+    case Ctr::EngineEventsFired:
+      return "engine.events_fired";
+    case Ctr::EngineEventsCancelled:
+      return "engine.events_cancelled";
+    case Ctr::EngineNowFifoHits:
+      return "engine.now_fifo_hits";
+    case Ctr::FiberSwitches:
+      return "fiber.switches";
+    case Ctr::MsgsEager:
+      return "msg.eager";
+    case Ctr::MsgsRts:
+      return "msg.rts";
+    case Ctr::MsgsCts:
+      return "msg.cts";
+    case Ctr::MsgsBulkChunks:
+      return "msg.bulk_chunks";
+    case Ctr::MsgsNicBulks:
+      return "msg.nic_bulks";
+    case Ctr::BytesOnWire:
+      return "wire.bytes";
+    case Ctr::NbcRoundsPosted:
+      return "nbc.rounds_posted";
+    case Ctr::NbcOpsStarted:
+      return "nbc.ops_started";
+    case Ctr::NbcOpsCompleted:
+      return "nbc.ops_completed";
+    case Ctr::CollSchedulesBuilt:
+      return "coll.schedules_built";
+    case Ctr::ProgressPasses:
+      return "progress.passes";
+    case Ctr::ProgressCallsExplicit:
+      return "progress.explicit_calls";
+    case Ctr::AdclBatchesScored:
+      return "adcl.batches_scored";
+    case Ctr::AdclDecisions:
+      return "adcl.decisions";
+    case Ctr::AdclSamplesSeen:
+      return "adcl.samples_seen";
+    case Ctr::AdclSamplesFiltered:
+      return "adcl.samples_filtered";
+    case Ctr::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* hist_name(Hist h) noexcept {
+  switch (h) {
+    case Hist::WireBytes:
+      return "wire.bytes_per_transfer";
+    case Hist::RoundsPerOp:
+      return "nbc.rounds_per_op";
+    case Hist::ScheduleRounds:
+      return "coll.rounds_per_schedule";
+    case Hist::ProgressPerOp:
+      return "adcl.progress_calls_per_iteration";
+    case Hist::kCount:
+      break;
+  }
+  return "?";
+}
+
+void Tracer::record(Hist h, std::uint64_t v) noexcept {
+  HistData& d = hists_[static_cast<std::size_t>(h)];
+  // bucket 0: v == 0; bucket i >= 1: v in [2^(i-1), 2^i).
+  std::size_t b = 0;
+  for (std::uint64_t x = v; x != 0; x >>= 1) ++b;
+  ++d.buckets[b];
+  ++d.count;
+  d.sum += v;
+}
+
+namespace {
+
+thread_local Tracer* tl_current = nullptr;
+thread_local std::vector<FinishedTrace>* tl_staging = nullptr;
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+Tracer* current() noexcept { return tl_current; }
+
+Tracer* set_current(Tracer* t) noexcept {
+  Tracer* prev = tl_current;
+  tl_current = t;
+  return prev;
+}
+
+// --------------------------------------------------------------- session
+
+struct Session::Impl {
+  mutable std::mutex mu;
+  std::vector<FinishedTrace> traces;
+};
+
+Session::Impl& Session::impl() const {
+  static Impl i;
+  return i;
+}
+
+bool Session::enabled() noexcept {
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+void Session::enable() { g_enabled.store(true, std::memory_order_release); }
+
+Session& Session::instance() {
+  static Session s;
+  return s;
+}
+
+void Session::adopt(FinishedTrace t) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  i.traces.push_back(std::move(t));
+}
+
+std::vector<FinishedTrace>* Session::set_staging(
+    std::vector<FinishedTrace>* s) noexcept {
+  std::vector<FinishedTrace>* prev = tl_staging;
+  tl_staging = s;
+  return prev;
+}
+
+void Session::finish(FinishedTrace t) {
+  if (tl_staging != nullptr) {
+    tl_staging->push_back(std::move(t));
+    return;
+  }
+  if (enabled()) instance().adopt(std::move(t));
+}
+
+std::size_t Session::size() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  return i.traces.size();
+}
+
+std::vector<FinishedTrace> Session::drain() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  std::vector<FinishedTrace> out;
+  out.swap(i.traces);
+  return out;
+}
+
+std::uint64_t Session::total_events() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  std::uint64_t n = 0;
+  for (const auto& t : i.traces) n += t.events.size();
+  return n;
+}
+
+namespace {
+
+/// Deterministic fixed-point formatting of simulated microseconds
+/// (nanosecond resolution; enough for LogGP-scale costs).
+void put_us(std::ostream& os, double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  os << buf;
+}
+
+void put_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+/// Chrome tid for a track id (tids should be non-negative integers).
+int chrome_tid(std::int32_t track) {
+  return track >= 0 ? track : 1000000 + (-1 - track);
+}
+
+}  // namespace
+
+void Session::write_chrome(std::ostream& os) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (std::size_t pid = 0; pid < im.traces.size(); ++pid) {
+    const FinishedTrace& t = im.traces[pid];
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\"";
+    put_escaped(os, t.label);
+    os << "\"}}";
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"name\":\"process_sort_index\",\"args\":{\"sort_index\":" << pid
+       << "}}";
+    // Name every track that appears (ranks and per-node wire lanes).
+    std::set<std::int32_t> tracks;
+    for (const Event& e : t.events) tracks.insert(e.track);
+    for (std::int32_t tr : tracks) {
+      sep();
+      os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << chrome_tid(tr)
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      if (tr >= 0) {
+        os << "rank " << tr;
+      } else {
+        os << "node " << (-1 - tr) << " wire";
+      }
+      os << "\"}}";
+    }
+    for (const Event& e : t.events) {
+      sep();
+      os << "{\"pid\":" << pid << ",\"tid\":" << chrome_tid(e.track)
+         << ",\"cat\":\"" << cat_name(e.cat) << "\",\"name\":\"" << e.name
+         << "\",\"ts\":";
+      put_us(os, e.ts);
+      if (e.dur >= 0.0) {
+        os << ",\"ph\":\"X\",\"dur\":";
+        put_us(os, e.dur);
+      } else {
+        os << ",\"ph\":\"i\",\"s\":\"t\"";
+      }
+      if (e.akey != nullptr || e.bkey != nullptr) {
+        os << ",\"args\":{";
+        if (e.akey != nullptr) {
+          os << "\"" << e.akey << "\":" << e.aval;
+        }
+        if (e.bkey != nullptr) {
+          if (e.akey != nullptr) os << ",";
+          os << "\"" << e.bkey << "\":" << e.bval;
+        }
+        os << "}";
+      }
+      os << "}";
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Session::write_counters(std::ostream& os) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  os << "# nbctune trace counter dump\n";
+  os << "scenarios " << im.traces.size() << "\n";
+  std::uint64_t events = 0;
+  for (const auto& t : im.traces) events += t.events.size();
+  os << "trace_events " << events << "\n";
+  for (std::size_t c = 0; c < static_cast<std::size_t>(Ctr::kCount); ++c) {
+    std::uint64_t total = 0;
+    for (const auto& t : im.traces) total += t.counts[c];
+    os << "counter " << ctr_name(static_cast<Ctr>(c)) << " " << total << "\n";
+  }
+  for (std::size_t h = 0; h < static_cast<std::size_t>(Hist::kCount); ++h) {
+    HistData agg;
+    for (const auto& t : im.traces) {
+      const HistData& d = t.hists[h];
+      agg.count += d.count;
+      agg.sum += d.sum;
+      for (std::size_t b = 0; b < d.buckets.size(); ++b) {
+        agg.buckets[b] += d.buckets[b];
+      }
+    }
+    os << "hist " << hist_name(static_cast<Hist>(h)) << " count " << agg.count
+       << " sum " << agg.sum << "\n";
+    for (std::size_t b = 0; b < agg.buckets.size(); ++b) {
+      if (agg.buckets[b] == 0) continue;
+      os << "hist " << hist_name(static_cast<Hist>(h)) << " bucket " << b
+         << " " << agg.buckets[b] << "\n";
+    }
+  }
+}
+
+// ----------------------------------------------------------------- scope
+
+Scope::Scope(std::string label) {
+  if (!Session::enabled()) return;
+  tracer_ = std::make_unique<Tracer>(std::move(label));
+  prev_ = set_current(tracer_.get());
+}
+
+Scope::~Scope() {
+  if (!tracer_) return;
+  set_current(prev_);
+  FinishedTrace f;
+  f.label = std::move(tracer_->label_);
+  f.events = std::move(tracer_->events_);
+  f.counts = tracer_->counts_;
+  f.hists = tracer_->hists_;
+  Session::finish(std::move(f));
+}
+
+}  // namespace nbctune::trace

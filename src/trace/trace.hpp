@@ -1,0 +1,265 @@
+#pragma once
+
+// Structured tracing and metrics (`nbctune::trace`).
+//
+// The paper's evidence is timeline-shaped — overlap of computation and
+// communication under explicit progress calls, protocol crossovers, the
+// tuner's selection decisions — so every layer of the stack can record
+// *why* a run behaved the way it did:
+//
+//   * a per-scenario event buffer of spans and instants (engine events,
+//     fiber switches, message lifecycle, NBC rounds, progress passes,
+//     ADCL decisions), one logical track per simulated rank plus wire
+//     tracks per node;
+//   * a registry of monotonic counters and power-of-two histograms
+//     (bytes on wire, events popped, rounds per collective, ...);
+//   * two exporters: Chrome trace-event JSON (loads in ui.perfetto.dev /
+//     chrome://tracing) and a flat counter dump for diffing in CI.
+//
+// Overhead contract: tracing is OFF unless a Session is enabled AND a
+// Scope installs a Tracer on the current thread.  Every instrumentation
+// helper compiles down to one thread-local load and a null-pointer branch
+// (see bench_engine_micro's trace-off case; < 2 % on the event hot path).
+//
+// Determinism contract: a Tracer belongs to exactly one simulation (one
+// Engine, single-threaded), so recording never locks.  Finished tracers
+// are merged into the Session in *submission order* — ScenarioPool stages
+// per-task buffers and adopts them by task index after the batch joins —
+// so a traced sweep produces byte-identical exports at any thread count,
+// and stdout is never touched.
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nbctune::trace {
+
+// ----------------------------------------------------------- event model
+
+/// Event category (the Chrome `cat` field; filterable in Perfetto).
+enum class Cat : std::uint8_t {
+  Engine,    ///< discrete-event engine internals
+  Fiber,     ///< fiber/process lifecycle
+  Msg,       ///< message lifecycle (post, match, handshake, delivery)
+  Wire,      ///< NIC / memory-port serialization intervals
+  Nbc,       ///< schedule rounds and operation lifetimes
+  Coll,      ///< collective schedule construction
+  Progress,  ///< progress-engine passes and application compute
+  Adcl,      ///< selection, filtering, decisions
+  Harness,   ///< scenario-level markers
+};
+[[nodiscard]] const char* cat_name(Cat c) noexcept;
+
+/// Monotonic counters.  A fixed enum (not a string registry) keeps the
+/// hot-path increment at one array add after the null-tracer branch.
+enum class Ctr : std::uint8_t {
+  EngineEventsScheduled,  ///< Engine::schedule_at calls
+  EngineEventsFired,      ///< callbacks actually executed
+  EngineEventsCancelled,  ///< successful Engine::cancel calls
+  EngineNowFifoHits,      ///< zero-delay events that bypassed the heap
+  FiberSwitches,          ///< scheduler -> fiber resumes
+  MsgsEager,              ///< eager payload messages shipped
+  MsgsRts,                ///< rendezvous request-to-send messages
+  MsgsCts,                ///< rendezvous clear-to-send messages
+  MsgsBulkChunks,         ///< CPU-driven bulk chunks pushed
+  MsgsNicBulks,           ///< NIC-driven (RDMA) bulk transfers
+  BytesOnWire,            ///< payload bytes serialized onto a NIC/mem port
+  NbcRoundsPosted,        ///< schedule rounds posted
+  NbcOpsStarted,          ///< Handle::start calls
+  NbcOpsCompleted,        ///< operations that reached done
+  CollSchedulesBuilt,     ///< collective schedules constructed
+  ProgressPasses,         ///< progress-engine passes (any trigger)
+  ProgressCallsExplicit,  ///< explicit application progress() calls
+  AdclBatchesScored,      ///< per-function sample batches scored
+  AdclDecisions,          ///< selection decisions finalized
+  AdclSamplesSeen,        ///< samples entering statistical filtering
+  AdclSamplesFiltered,    ///< samples discarded by the filter
+  kCount,
+};
+[[nodiscard]] const char* ctr_name(Ctr c) noexcept;
+
+/// Power-of-two-bucket histograms of integer values.
+enum class Hist : std::uint8_t {
+  WireBytes,         ///< bytes per on-wire transfer
+  RoundsPerOp,       ///< schedule rounds per completed collective
+  ScheduleRounds,    ///< rounds per built schedule
+  ProgressPerOp,     ///< explicit progress calls per request iteration
+  kCount,
+};
+[[nodiscard]] const char* hist_name(Hist h) noexcept;
+
+/// One recorded event.  `name` / arg keys must have static storage
+/// duration (string literals at the instrumentation sites).
+struct Event {
+  double ts = 0.0;    ///< start, simulated seconds
+  double dur = -1.0;  ///< span duration; < 0 encodes an instant event
+  std::int32_t track = 0;  ///< >= 0: rank; < 0: wire track (see wire_track)
+  Cat cat = Cat::Harness;
+  const char* name = "";
+  const char* akey = nullptr;  ///< optional first argument
+  std::uint64_t aval = 0;
+  const char* bkey = nullptr;  ///< optional second argument
+  std::uint64_t bval = 0;
+};
+
+/// Track id of node `n`'s wire (NIC / memory-port) serialization lane.
+[[nodiscard]] constexpr std::int32_t wire_track(int node) noexcept {
+  return -1 - node;
+}
+
+struct HistData {
+  std::array<std::uint64_t, 64> buckets{};  ///< buckets[i]: v in [2^(i-1), 2^i)
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+};
+
+// ---------------------------------------------------------------- tracer
+
+/// The event buffer and metric registry of ONE simulation.  A simulation
+/// is single-threaded (fibers), so recording is plain vector appends and
+/// array adds — no locks, no allocation beyond vector growth.
+class Tracer {
+ public:
+  explicit Tracer(std::string label) : label_(std::move(label)) {}
+
+  void emit(const Event& e) { events_.push_back(e); }
+  void count(Ctr c, std::uint64_t d = 1) noexcept {
+    counts_[static_cast<std::size_t>(c)] += d;
+  }
+  void record(Hist h, std::uint64_t v) noexcept;
+
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t counter(Ctr c) const noexcept {
+    return counts_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const HistData& histogram(Hist h) const noexcept {
+    return hists_[static_cast<std::size_t>(h)];
+  }
+
+ private:
+  friend class Session;
+  friend class Scope;
+  std::string label_;
+  std::vector<Event> events_;
+  std::array<std::uint64_t, static_cast<std::size_t>(Ctr::kCount)> counts_{};
+  std::array<HistData, static_cast<std::size_t>(Hist::kCount)> hists_{};
+};
+
+/// The tracer of the simulation currently running on this thread, or
+/// nullptr when tracing is off (the common case).
+[[nodiscard]] Tracer* current() noexcept;
+/// Install `t` as the current tracer; returns the previous one.
+Tracer* set_current(Tracer* t) noexcept;
+
+// Guarded instrumentation helpers: each is a thread-local load plus a
+// branch when tracing is off.
+inline void count(Ctr c, std::uint64_t d = 1) noexcept {
+  if (Tracer* t = current()) t->count(c, d);
+}
+inline void record(Hist h, std::uint64_t v) noexcept {
+  if (Tracer* t = current()) t->record(h, v);
+}
+inline void emit(const Event& e) {
+  if (Tracer* t = current()) t->emit(e);
+}
+inline void instant(double ts, std::int32_t track, Cat cat, const char* name,
+                    const char* akey = nullptr, std::uint64_t aval = 0,
+                    const char* bkey = nullptr, std::uint64_t bval = 0) {
+  if (Tracer* t = current()) {
+    t->emit(Event{ts, -1.0, track, cat, name, akey, aval, bkey, bval});
+  }
+}
+inline void span(double ts, double dur, std::int32_t track, Cat cat,
+                 const char* name, const char* akey = nullptr,
+                 std::uint64_t aval = 0, const char* bkey = nullptr,
+                 std::uint64_t bval = 0) {
+  if (Tracer* t = current()) {
+    t->emit(Event{ts, dur < 0.0 ? 0.0 : dur, track, cat, name, akey, aval,
+                  bkey, bval});
+  }
+}
+[[nodiscard]] inline bool active() noexcept { return current() != nullptr; }
+
+// --------------------------------------------------------------- session
+
+/// A finished per-scenario trace, detached from its Tracer.
+struct FinishedTrace {
+  std::string label;
+  std::vector<Event> events;
+  std::array<std::uint64_t, static_cast<std::size_t>(Ctr::kCount)> counts{};
+  std::array<HistData, static_cast<std::size_t>(Hist::kCount)> hists{};
+};
+
+/// Process-wide collector of finished traces.  Disabled by default; a
+/// bench driver enables it once (`--trace`).  Adoption order is the
+/// export order: Scopes adopt directly when no staging buffer is
+/// installed (serial execution), while ScenarioPool stages per-task
+/// buffers and adopts them by submission index after the batch joins.
+class Session {
+ public:
+  /// True once enable() was called (lock-free flag read).
+  [[nodiscard]] static bool enabled() noexcept;
+  /// Turn the session on (idempotent).  There is no disable: a session
+  /// lives until process exit, like the bench run it observes.
+  static void enable();
+  static Session& instance();
+
+  /// Append a finished trace (thread-safe; order = call order).
+  void adopt(FinishedTrace t);
+
+  /// Install a staging buffer for the current thread; Scopes finishing on
+  /// this thread append there instead of adopting into the session.
+  /// Returns the previously installed buffer (restore when done).
+  static std::vector<FinishedTrace>* set_staging(
+      std::vector<FinishedTrace>* s) noexcept;
+
+  /// Route a finished trace: current thread's staging buffer if any,
+  /// otherwise the global session (no-op when the session is disabled).
+  static void finish(FinishedTrace t);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t total_events() const;
+
+  /// Remove and return every adopted trace (in adoption order).  Lets
+  /// tests inspect one batch in isolation; exporters below see only what
+  /// has not been drained.
+  [[nodiscard]] std::vector<FinishedTrace> drain();
+
+  /// Chrome trace-event JSON: one pid per adopted scenario, one tid per
+  /// rank track plus wire tracks.  Loadable in ui.perfetto.dev.
+  void write_chrome(std::ostream& os) const;
+  /// Flat deterministic counter/histogram dump for CI diffing.
+  void write_counters(std::ostream& os) const;
+
+ private:
+  Session() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII: installs a fresh Tracer for one scenario when the session is
+/// enabled; on destruction detaches it and hands the finished trace to
+/// the staging buffer / session.  When the session is disabled this is a
+/// no-op and tracing stays a null-pointer branch everywhere.
+class Scope {
+ public:
+  explicit Scope(std::string label);
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  /// The tracer installed by this scope (null when tracing is off).
+  [[nodiscard]] Tracer* tracer() noexcept { return tracer_.get(); }
+
+ private:
+  std::unique_ptr<Tracer> tracer_;
+  Tracer* prev_ = nullptr;
+};
+
+}  // namespace nbctune::trace

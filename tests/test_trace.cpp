@@ -1,0 +1,346 @@
+// Trace layer semantics: counter/histogram arithmetic, guarded no-op
+// helpers, per-scenario Scope lifecycle, the golden event sequence of a
+// 2-rank ibcast, and byte-identical session exports at any ScenarioPool
+// thread count.
+//
+// Session::enable() is one-way (process-wide), so tests that need the
+// disabled state run before any test that enables it; tests that use the
+// session drain() it first so they only see their own traces.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coll/ibcast.hpp"
+#include "harness/scenario_pool.hpp"
+#include "mpi/world.hpp"
+#include "nbc/handle.hpp"
+#include "net/platform.hpp"
+#include "testing_util.hpp"
+#include "trace/trace.hpp"
+
+using namespace nbctune;
+namespace t = nbctune::testing;
+
+namespace {
+
+/// Install `tr` as the current tracer for the lifetime of the object.
+struct WithTracer {
+  explicit WithTracer(trace::Tracer* tr) : prev(trace::set_current(tr)) {}
+  ~WithTracer() { trace::set_current(prev); }
+  trace::Tracer* prev;
+};
+
+bool events_equal(const trace::Event& a, const trace::Event& b) {
+  auto key = [](const char* k) { return k == nullptr ? "" : std::string(k); };
+  return a.ts == b.ts && a.dur == b.dur && a.track == b.track &&
+         a.cat == b.cat && std::string(a.name) == b.name &&
+         key(a.akey) == key(b.akey) && a.aval == b.aval &&
+         key(a.bkey) == key(b.bkey) && a.bval == b.bval;
+}
+
+/// A tiny deterministic simulation: 2-rank ibcast of `bytes` via the
+/// binomial tree, driven to completion by wait().
+void run_small_ibcast(std::size_t bytes, std::uint64_t seed = 1) {
+  std::vector<std::byte> buf(bytes);
+  t::run_world(net::whale(), 2, [&](mpi::Ctx& ctx) {
+    nbc::Schedule s = coll::build_ibcast(ctx.world_rank(), 2, buf.data(),
+                                         bytes, /*root=*/0,
+                                         coll::kFanoutBinomial,
+                                         /*seg_bytes=*/0);
+    nbc::Handle h(ctx, ctx.world().comm_world(), &s, 1 << 20);
+    h.start();
+    h.wait();
+  }, /*noise_scale=*/0.0, seed);
+}
+
+}  // namespace
+
+// -------------------------------------------------- disabled-state tests
+// (must run before anything calls Session::enable())
+
+TEST(TraceDisabled, HelpersAreNoopsWithoutTracer) {
+  ASSERT_EQ(trace::current(), nullptr);
+  EXPECT_FALSE(trace::active());
+  // None of these may crash or allocate a tracer.
+  trace::count(trace::Ctr::MsgsEager);
+  trace::record(trace::Hist::WireBytes, 4096);
+  trace::instant(1.0, 0, trace::Cat::Msg, "x");
+  trace::span(1.0, 0.5, 0, trace::Cat::Wire, "y");
+  EXPECT_EQ(trace::current(), nullptr);
+}
+
+TEST(TraceDisabled, ScopeIsInertWithoutSession) {
+  ASSERT_FALSE(trace::Session::enabled());
+  trace::Scope scope("inert");
+  EXPECT_EQ(scope.tracer(), nullptr);
+  EXPECT_FALSE(trace::active());
+}
+
+TEST(TraceDisabled, TracedRunMatchesUntracedRun) {
+  // The same simulation with and without a tracer installed must end at
+  // the same simulated time: recording must never perturb the model.
+  std::vector<std::byte> buf(4096);
+  auto run = [&] {
+    return t::run_world(net::whale(), 2, [&](mpi::Ctx& ctx) {
+      nbc::Schedule s = coll::build_ibcast(ctx.world_rank(), 2, buf.data(),
+                                           buf.size(), 0,
+                                           coll::kFanoutBinomial, 0);
+      nbc::Handle h(ctx, ctx.world().comm_world(), &s, 1 << 20);
+      h.start();
+      h.wait();
+    }).end_time;
+  };
+  const double untraced = run();
+  trace::Tracer tr("probe");
+  double traced = 0.0;
+  {
+    WithTracer w(&tr);
+    traced = run();
+  }
+  EXPECT_EQ(traced, untraced);
+  EXPECT_GT(tr.events().size(), 0u);
+}
+
+// ------------------------------------------------------ tracer mechanics
+
+TEST(TraceCounters, CountsAccumulate) {
+  trace::Tracer tr("c");
+  tr.count(trace::Ctr::MsgsEager);
+  tr.count(trace::Ctr::MsgsEager, 4);
+  tr.count(trace::Ctr::BytesOnWire, 1024);
+  EXPECT_EQ(tr.counter(trace::Ctr::MsgsEager), 5u);
+  EXPECT_EQ(tr.counter(trace::Ctr::BytesOnWire), 1024u);
+  EXPECT_EQ(tr.counter(trace::Ctr::MsgsRts), 0u);
+}
+
+TEST(TraceCounters, HistogramBucketsArePowersOfTwo) {
+  trace::Tracer tr("h");
+  // bucket 0: v == 0; bucket i >= 1: v in [2^(i-1), 2^i).
+  tr.record(trace::Hist::WireBytes, 0);     // bucket 0
+  tr.record(trace::Hist::WireBytes, 1);     // bucket 1
+  tr.record(trace::Hist::WireBytes, 2);     // bucket 2
+  tr.record(trace::Hist::WireBytes, 3);     // bucket 2
+  tr.record(trace::Hist::WireBytes, 4);     // bucket 3
+  tr.record(trace::Hist::WireBytes, 1024);  // bucket 11
+  tr.record(trace::Hist::WireBytes, 1535);  // bucket 11
+  const trace::HistData& d = tr.histogram(trace::Hist::WireBytes);
+  EXPECT_EQ(d.count, 7u);
+  EXPECT_EQ(d.sum, 0u + 1 + 2 + 3 + 4 + 1024 + 1535);
+  EXPECT_EQ(d.buckets[0], 1u);
+  EXPECT_EQ(d.buckets[1], 1u);
+  EXPECT_EQ(d.buckets[2], 2u);
+  EXPECT_EQ(d.buckets[3], 1u);
+  EXPECT_EQ(d.buckets[11], 2u);
+  EXPECT_EQ(tr.histogram(trace::Hist::RoundsPerOp).count, 0u);
+}
+
+TEST(TraceHelpers, RecordThroughInstalledTracer) {
+  trace::Tracer tr("helpers");
+  {
+    WithTracer w(&tr);
+    ASSERT_TRUE(trace::active());
+    trace::instant(1.5, 3, trace::Cat::Msg, "m", "bytes", 64);
+    trace::span(2.0, 0.25, trace::wire_track(1), trace::Cat::Wire, "w");
+    trace::span(9.0, -4.0, 0, trace::Cat::Progress, "clamped");
+  }
+  EXPECT_FALSE(trace::active());
+  ASSERT_EQ(tr.events().size(), 3u);
+  const auto& e0 = tr.events()[0];
+  EXPECT_LT(e0.dur, 0.0);  // instant encoding
+  EXPECT_EQ(e0.track, 3);
+  EXPECT_STREQ(e0.akey, "bytes");
+  EXPECT_EQ(e0.aval, 64u);
+  const auto& e1 = tr.events()[1];
+  EXPECT_EQ(e1.dur, 0.25);
+  EXPECT_EQ(e1.track, trace::wire_track(1));
+  EXPECT_EQ(trace::wire_track(1), -2);
+  // Negative durations passed to span() are clamped to a zero-length
+  // span, not re-encoded as an instant.
+  EXPECT_EQ(tr.events()[2].dur, 0.0);
+}
+
+// ------------------------------------------------------- session + scope
+// (everything below runs with the session enabled)
+
+TEST(TraceSession, ScopeAdoptsInOrder) {
+  trace::Session::enable();
+  ASSERT_TRUE(trace::Session::enabled());
+  (void)trace::Session::instance().drain();
+  {
+    trace::Scope a("first");
+    ASSERT_NE(a.tracer(), nullptr);
+    trace::count(trace::Ctr::AdclDecisions);
+    trace::instant(0.0, 0, trace::Cat::Harness, "mark");
+  }
+  {
+    trace::Scope b("second");
+    trace::count(trace::Ctr::AdclDecisions, 2);
+  }
+  auto traces = trace::Session::instance().drain();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].label, "first");
+  EXPECT_EQ(traces[1].label, "second");
+  EXPECT_EQ(traces[0].events.size(), 1u);
+  constexpr auto kDecisions =
+      static_cast<std::size_t>(trace::Ctr::AdclDecisions);
+  EXPECT_EQ(traces[0].counts[kDecisions], 1u);
+  EXPECT_EQ(traces[1].counts[kDecisions], 2u);
+  EXPECT_EQ(trace::Session::instance().size(), 0u);
+}
+
+TEST(TraceGolden, TwoRankIbcastEventSequence) {
+  trace::Session::enable();
+  (void)trace::Session::instance().drain();
+  {
+    trace::Scope scope("golden ibcast");
+    run_small_ibcast(4096);
+  }
+  auto traces = trace::Session::instance().drain();
+  ASSERT_EQ(traces.size(), 1u);
+  const trace::FinishedTrace& tr = traces[0];
+
+  // Counters: one 4 KB eager message from rank 0 to rank 1; a schedule
+  // built and an operation started/completed on each rank.
+  auto ctr = [&](trace::Ctr c) {
+    return tr.counts[static_cast<std::size_t>(c)];
+  };
+  EXPECT_EQ(ctr(trace::Ctr::CollSchedulesBuilt), 2u);
+  EXPECT_EQ(ctr(trace::Ctr::NbcOpsStarted), 2u);
+  EXPECT_EQ(ctr(trace::Ctr::NbcOpsCompleted), 2u);
+  EXPECT_EQ(ctr(trace::Ctr::MsgsEager), 1u);
+  EXPECT_EQ(ctr(trace::Ctr::MsgsRts), 0u);
+  EXPECT_EQ(ctr(trace::Ctr::BytesOnWire), 4096u);
+  EXPECT_GE(ctr(trace::Ctr::NbcRoundsPosted), 2u);
+
+  // Golden per-rank sequences of the structural (non-engine, non-
+  // progress) events.  Buffer order is execution order, so this pins both
+  // the instrumentation sites and the simulation's control flow.
+  auto names_on = [&](std::int32_t track) {
+    std::vector<std::string> out;
+    for (const auto& e : tr.events) {
+      if (e.track != track) continue;
+      if (e.cat == trace::Cat::Progress || e.cat == trace::Cat::Engine ||
+          e.cat == trace::Cat::Fiber) {
+        continue;
+      }
+      out.push_back(e.name);
+    }
+    return out;
+  };
+  EXPECT_EQ(names_on(0),
+            (std::vector<std::string>{"ibcast", "nbc.start", "nbc.round",
+                                      "msg.eager", "nbc.op"}));
+  EXPECT_EQ(names_on(1),
+            (std::vector<std::string>{"ibcast", "nbc.start", "nbc.round",
+                                      "msg.deliver", "nbc.op"}));
+
+  // The wire lane of rank 0's node carries exactly one eager
+  // serialization span of the payload size.
+  int wire_spans = 0;
+  for (const auto& e : tr.events) {
+    if (e.track >= 0 || e.cat != trace::Cat::Wire) continue;
+    ++wire_spans;
+    EXPECT_STREQ(e.name, "wire.eager");
+    EXPECT_GT(e.dur, 0.0);
+    ASSERT_NE(e.akey, nullptr);
+    EXPECT_EQ(e.aval, 4096u);
+  }
+  EXPECT_EQ(wire_spans, 1);
+
+  // Causality across spans: the sender's op starts before the wire
+  // serialization starts, and the receiver's op cannot finish before the
+  // payload left the wire.  (The sender's own op ends at local
+  // completion, which for an eager send precedes the end of the physical
+  // serialization — that asynchrony is the point of the model.)
+  double send_start = -1.0, recv_end = -1.0, wire_start = -1.0,
+         wire_end = -1.0;
+  for (const auto& e : tr.events) {
+    if (std::string(e.name) == "nbc.op" && e.track == 0) {
+      send_start = e.ts;
+    }
+    if (std::string(e.name) == "nbc.op" && e.track == 1) {
+      recv_end = e.ts + e.dur;
+    }
+    if (std::string(e.name) == "wire.eager") {
+      wire_start = e.ts;
+      wire_end = e.ts + e.dur;
+    }
+  }
+  ASSERT_GE(send_start, 0.0);
+  ASSERT_GE(wire_start, 0.0);
+  EXPECT_LE(send_start, wire_start);
+  EXPECT_GE(recv_end, wire_end);
+}
+
+TEST(TraceDeterminism, PoolMergeIsByteIdenticalAcrossThreadCounts) {
+  trace::Session::enable();
+  const std::size_t kTasks = 12;
+  auto sweep = [&](int threads) {
+    (void)trace::Session::instance().drain();
+    harness::ScenarioPool pool(threads);
+    pool.run_indexed(kTasks, [&](std::size_t i) {
+      trace::Scope scope("task " + std::to_string(i));
+      run_small_ibcast(512 * (i + 1), /*seed=*/i + 1);
+    });
+    std::ostringstream chrome, counters;
+    trace::Session::instance().write_chrome(chrome);
+    trace::Session::instance().write_counters(counters);
+    auto traces = trace::Session::instance().drain();
+    return std::tuple{chrome.str(), counters.str(), std::move(traces)};
+  };
+  auto [chrome1, counters1, traces1] = sweep(1);
+  auto [chrome2, counters2, traces2] = sweep(2);
+  auto [chrome8, counters8, traces8] = sweep(8);
+
+  // Exports are byte-identical at any worker count.
+  EXPECT_EQ(chrome1, chrome2);
+  EXPECT_EQ(chrome1, chrome8);
+  EXPECT_EQ(counters1, counters2);
+  EXPECT_EQ(counters1, counters8);
+
+  // And the merged traces arrive in submission order with identical
+  // per-scenario content.
+  ASSERT_EQ(traces1.size(), kTasks);
+  ASSERT_EQ(traces8.size(), kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(traces1[i].label, "task " + std::to_string(i));
+    EXPECT_EQ(traces8[i].label, traces1[i].label);
+    ASSERT_EQ(traces8[i].events.size(), traces1[i].events.size());
+    for (std::size_t e = 0; e < traces1[i].events.size(); ++e) {
+      ASSERT_TRUE(events_equal(traces1[i].events[e], traces8[i].events[e]))
+          << "task " << i << " event " << e;
+    }
+    EXPECT_EQ(traces8[i].counts, traces1[i].counts);
+  }
+}
+
+TEST(TraceExport, ChromeJsonShapeAndEscaping) {
+  trace::Session::enable();
+  (void)trace::Session::instance().drain();
+  {
+    trace::Scope scope("label with \"quotes\" and \\backslash");
+    trace::instant(1e-6, 0, trace::Cat::Harness, "i1", "k", 7);
+    trace::span(2e-6, 3e-6, trace::wire_track(0), trace::Cat::Wire, "s1",
+                "bytes", 128, "chunk", 2);
+  }
+  std::ostringstream os;
+  trace::Session::instance().write_chrome(os);
+  const std::string j = os.str();
+  (void)trace::Session::instance().drain();
+  // Structural spot-checks (full JSON validation happens in CI via
+  // python's json.load on a real sweep).
+  EXPECT_NE(j.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(j.find("label with \\\"quotes\\\" and \\\\backslash"),
+            std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"X\",\"dur\":3.000"), std::string::npos);
+  EXPECT_NE(j.find("\"args\":{\"bytes\":128,\"chunk\":2}"),
+            std::string::npos);
+  // Wire track 0 maps to the reserved chrome tid block.
+  EXPECT_NE(j.find("\"tid\":1000000"), std::string::npos);
+  EXPECT_NE(j.find("node 0 wire"), std::string::npos);
+}
