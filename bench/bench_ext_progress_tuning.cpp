@@ -26,11 +26,15 @@ struct GridResult {
   std::string impl;
 };
 
-/// One run; pc < 0 means "ask the request each iteration".
+/// One run; pc < 0 means "ask the request each iteration".  `what` is the
+/// microbench label suffix ("fixed:<grid-point>" / "adcl:<policy>") that
+/// puts the run in the analyzer's comparison group when tracing is on.
 GridResult run_once(const net::Platform& platform, int pinned_fn, int pc,
                     const std::vector<int>& counts, int iters,
+                    const std::string& what,
                     adcl::PolicyKind policy = adcl::PolicyKind::BruteForce) {
   GridResult out;
+  trace::Scope scope("ialltoall " + platform.name + " np32 131072B " + what);
   sim::Engine engine(5);
   net::Machine machine(platform);
   mpi::WorldOptions wopts;
@@ -87,18 +91,21 @@ int main(int argc, char** argv) {
       // Fixed grid point: algorithm + count pinned; drive at its count.
       const int pc = fset->function(f).attrs.at(1);
       const auto r =
-          run_once(platform, static_cast<int>(f), pc, counts, iters);
+          run_once(platform, static_cast<int>(f), pc, counts, iters,
+                   "fixed:" + fset->function(f).name);
       rows.emplace_back(fset->function(f).name, r.loop_time);
       if (r.loop_time < best) {
         best = r.loop_time;
         best_name = fset->function(f).name;
       }
     }
-    const auto tuned = run_once(platform, -1, -1, counts, iters);
+    const auto tuned =
+        run_once(platform, -1, -1, counts, iters, "adcl:brute-force");
     // The attribute heuristic prunes the 12-function grid to ~one sweep
     // per attribute — a shorter learning phase at the risk of missing
     // algorithm/progress-count interactions.
     const auto heur = run_once(platform, -1, -1, counts, iters,
+                               "adcl:heuristic",
                                adcl::PolicyKind::AttributeHeuristic);
     for (const auto& [name, time] : rows) {
       t.add_row({name, Table::num(time), Table::num(time / best, 2)});

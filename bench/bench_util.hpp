@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/analyze.hpp"
 #include "harness/microbench.hpp"
 #include "harness/scenario_pool.hpp"
 #include "harness/table.hpp"
@@ -24,15 +25,25 @@ namespace nbctune::bench {
 /// is byte-identical at any thread count (timing goes to stderr).
 /// `--trace <file>` writes a Chrome trace-event JSON of every simulated
 /// scenario (load in ui.perfetto.dev); `--trace-counters <file>` writes
-/// the flat counter/histogram dump for CI diffing.  Both exports are
-/// byte-deterministic at any thread count and never touch stdout.
+/// the flat counter/histogram dump for CI diffing.  `--report[=json]`
+/// runs the post-hoc trace analysis (src/analyze) over every scenario
+/// when the run finishes — critical paths, overlap accounting, the ADCL
+/// decision audit and the performance guidelines — and prints it to
+/// stderr (table) or writes it with `--report-out <file>`.  All exports
+/// are byte-deterministic at any thread count and never touch stdout.
 struct Scale {
+  enum class ReportMode { None, Table, Json };
   bool full = false;
   int threads = 0;  ///< 0 = auto (NBCTUNE_THREADS, then hardware)
   std::string trace_path;     ///< Chrome trace-event JSON output, if set
   std::string counters_path;  ///< flat counter dump output, if set
+  ReportMode report = ReportMode::None;
+  std::string report_path;  ///< report output file ("" = stderr)
   [[nodiscard]] bool tracing() const noexcept {
-    return !trace_path.empty() || !counters_path.empty();
+    return !trace_path.empty() || !counters_path.empty() || reporting();
+  }
+  [[nodiscard]] bool reporting() const noexcept {
+    return report != ReportMode::None || !report_path.empty();
   }
   static Scale from_args(int argc, char** argv) {
     Scale s;
@@ -46,6 +57,17 @@ struct Scale {
       }
       if (std::strcmp(argv[i], "--trace-counters") == 0 && i + 1 < argc) {
         s.counters_path = argv[++i];
+      }
+      if (std::strcmp(argv[i], "--report") == 0 ||
+          std::strcmp(argv[i], "--report=table") == 0) {
+        s.report = ReportMode::Table;
+      }
+      if (std::strcmp(argv[i], "--report=json") == 0) {
+        s.report = ReportMode::Json;
+      }
+      if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
+        s.report_path = argv[++i];
+        if (s.report == ReportMode::None) s.report = ReportMode::Json;
       }
     }
     return s;
@@ -91,7 +113,7 @@ class Driver {
 
   ~Driver() {
     if (!scale_.tracing()) return;
-    const auto& session = trace::Session::instance();
+    auto& session = trace::Session::instance();
     if (!scale_.trace_path.empty()) {
       std::ofstream os(scale_.trace_path);
       session.write_chrome(os);
@@ -105,6 +127,7 @@ class Driver {
       std::cerr << "[" << name_ << "] counters -> " << scale_.counters_path
                 << "\n";
     }
+    if (scale_.reporting()) write_report(session);
   }
 
   Driver(const Driver&) = delete;
@@ -121,6 +144,31 @@ class Driver {
   }
 
  private:
+  /// Drain the finished traces and run the post-hoc analysis.  Traces
+  /// are adopted in submission order regardless of the worker count, so
+  /// the report bytes are identical at --threads 1 and --threads N.
+  void write_report(trace::Session& session) {
+    std::vector<analyze::ScenarioTrace> traces;
+    for (const trace::FinishedTrace& t : session.drain()) {
+      traces.push_back(analyze::from_finished(t));
+    }
+    const analyze::Report report = analyze::analyze(traces);
+    if (!scale_.report_path.empty()) {
+      std::ofstream os(scale_.report_path);
+      if (scale_.report == Scale::ReportMode::Table) {
+        analyze::write_table(os, report);
+      } else {
+        analyze::write_json(os, report);
+      }
+      std::cerr << "[" << name_ << "] report: " << traces.size()
+                << " scenario(s) -> " << scale_.report_path << "\n";
+    } else if (scale_.report == Scale::ReportMode::Json) {
+      analyze::write_json(std::cerr, report);
+    } else {
+      analyze::write_table(std::cerr, report);
+    }
+  }
+
   std::string name_;
   Scale scale_;
   harness::ScenarioPool pool_;

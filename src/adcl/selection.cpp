@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <set>
 #include <stdexcept>
@@ -386,10 +387,15 @@ void SelectionState::record(mpi::Ctx& ctx, const mpi::Comm& comm,
   const double agreed = ctx.allreduce(comm, local, mpi::ReduceOp::Max);
   batch_.clear();
   scores_[current_] = agreed;
+  measurements_.push_back({current_, agreed, iterations_});
   trace::count(trace::Ctr::AdclBatchesScored);
   if (trace::active()) {
+    // score_ns: integral nanoseconds so exported traces audit bit-exactly
+    // across platforms; corr carries the tuning iteration, linking scores
+    // to the adcl.decision event of the same selection run.
     trace::instant(ctx.now(), ctx.world_rank(), trace::Cat::Adcl, "adcl.score",
-                   "func", static_cast<std::uint64_t>(current_), "iter",
+                   "func", static_cast<std::uint64_t>(current_), "score_ns",
+                   static_cast<std::uint64_t>(std::llround(agreed * 1e9)),
                    static_cast<std::uint64_t>(iterations_));
   }
   const int nxt = policy_->next(current_, agreed);
@@ -412,6 +418,7 @@ void SelectionState::finalize(mpi::Ctx& ctx) {
     trace::instant(ctx.now(), ctx.world_rank(), trace::Cat::Adcl,
                    "adcl.decision", "winner",
                    static_cast<std::uint64_t>(winner_), "iter",
+                   static_cast<std::uint64_t>(decision_iteration_),
                    static_cast<std::uint64_t>(decision_iteration_));
   }
   if (opts_.history != nullptr && !history_key_.empty()) {

@@ -108,6 +108,19 @@ class SelectionState {
   [[nodiscard]] const std::map<int, double>& scores() const noexcept {
     return scores_;
   }
+  /// One agreed (rank-synchronized) batch score, in policy order.
+  struct Measurement {
+    int func = -1;        ///< function-set index scored
+    double score = 0.0;   ///< robust, allreduce-max agreed seconds
+    int iteration = 0;    ///< tuning iteration at which the batch closed
+  };
+  /// Chronological log of every agreed score — the audit trail a
+  /// decision-analysis pass replays (same data as the adcl.score trace
+  /// events, without requiring tracing to be on).
+  [[nodiscard]] const std::vector<Measurement>& measurements()
+      const noexcept {
+    return measurements_;
+  }
   /// Key under which the decision is recorded in the history store.
   void set_history_key(std::string key) { history_key_ = std::move(key); }
 
@@ -125,6 +138,7 @@ class SelectionState {
   double decision_time_ = std::numeric_limits<double>::quiet_NaN();
   std::vector<double> batch_;
   std::map<int, double> scores_;
+  std::vector<Measurement> measurements_;
   std::string history_key_;
 };
 

@@ -1,0 +1,699 @@
+#include "analyze/analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string_view>
+#include <unordered_map>
+
+#include "trace/trace.hpp"
+
+namespace nbctune::analyze {
+
+ScenarioTrace from_finished(const trace::FinishedTrace& t) {
+  ScenarioTrace out;
+  out.label = t.label;
+  out.events.reserve(t.events.size());
+  for (const trace::Event& e : t.events) {
+    AEvent a;
+    a.ts = e.ts;
+    a.dur = e.dur;
+    a.track = e.track;
+    a.cat = trace::cat_name(e.cat);
+    a.name = e.name;
+    if (e.akey != nullptr) a.akey = e.akey;
+    a.aval = e.aval;
+    if (e.bkey != nullptr) a.bkey = e.bkey;
+    a.bval = e.bval;
+    a.corr = e.corr;
+    out.events.push_back(std::move(a));
+  }
+  for (std::size_t c = 0; c < t.counts.size(); ++c) {
+    if (t.counts[c] != 0) {
+      out.counters[trace::ctr_name(static_cast<trace::Ctr>(c))] = t.counts[c];
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------ label convention
+
+LabelKey parse_label(const std::string& label) {
+  LabelKey k;
+  std::vector<std::string> tok;
+  std::size_t pos = 0;
+  while (pos < label.size()) {
+    const std::size_t sp = label.find(' ', pos);
+    const std::size_t end = sp == std::string::npos ? label.size() : sp;
+    if (end > pos) tok.push_back(label.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  if (tok.size() != 5) return k;
+  const std::string& np = tok[2];
+  const std::string& by = tok[3];
+  if (np.size() < 3 || np.compare(0, 2, "np") != 0) return k;
+  if (by.size() < 2 || by.back() != 'B') return k;
+  for (std::size_t i = 2; i < np.size(); ++i) {
+    if (np[i] < '0' || np[i] > '9') return k;
+  }
+  for (std::size_t i = 0; i + 1 < by.size(); ++i) {
+    if (by[i] < '0' || by[i] > '9') return k;
+  }
+  k.valid = true;
+  k.op = tok[0];
+  k.platform = tok[1];
+  k.nprocs = std::atoi(np.c_str() + 2);
+  k.bytes = std::strtoull(by.substr(0, by.size() - 1).c_str(), nullptr, 10);
+  k.what = tok[4];
+  return k;
+}
+
+std::string LabelKey::group() const {
+  return op + " " + platform + " np" + std::to_string(nprocs) + " " +
+         std::to_string(bytes) + "B";
+}
+
+std::string LabelKey::size_group() const {
+  return op + " " + platform + " np" + std::to_string(nprocs) + " " + what;
+}
+
+// ----------------------------------------------------- scenario indexing
+
+namespace {
+
+/// A half-open interval [a, b) tagged with a blame category priority.
+struct Interval {
+  double a = 0.0;
+  double b = 0.0;
+};
+
+/// One wire transfer reconstructed from its correlation id.
+struct MsgInfo {
+  double post_ts = -1.0;
+  int post_track = -1;
+  double arrival_ts = -1.0;  ///< msg.deliver / msg.complete on the receiver
+  int arrival_track = -1;
+  std::vector<Interval> wire;  ///< serialization spans on wire lanes
+};
+
+/// Per-rank sorted event digests used for window queries.
+struct RankIndex {
+  std::vector<Interval> compute;        ///< compute spans, sorted by start
+  std::vector<Interval> progress;       ///< progress.call/pass spans
+  std::vector<double> activity_starts;  ///< progress starts + round posts
+  std::vector<std::uint64_t> inbound;   ///< corr ids, sorted by arrival
+};
+
+struct OpSpan {
+  int rank = -1;
+  double ts = 0.0;
+  double dur = 0.0;
+};
+
+/// Everything the per-op analyses need, built in one pass over events.
+struct Index {
+  std::unordered_map<std::uint64_t, MsgInfo> msgs;
+  std::map<int, RankIndex> ranks;
+  std::map<std::uint64_t, std::vector<OpSpan>> ops;  ///< nbc.op by corr
+  std::uint64_t ops_started = 0;
+  bool any_compute = false;
+};
+
+bool is_post_name(const std::string& n) {
+  return n == "msg.eager" || n == "msg.rts" || n == "msg.cts" ||
+         n == "msg.bulk_nic";
+}
+
+Index build_index(const ScenarioTrace& t) {
+  Index ix;
+  for (const AEvent& e : t.events) {
+    if (e.track < 0) {
+      if (e.is_span() && e.corr != 0) {
+        ix.msgs[e.corr].wire.push_back({e.ts, e.ts + e.dur});
+      }
+      continue;
+    }
+    if (e.cat == "progress") {
+      if (e.name == "compute" && e.is_span()) {
+        ix.ranks[e.track].compute.push_back({e.ts, e.ts + e.dur});
+        ix.any_compute = true;
+      } else if (e.is_span()) {
+        ix.ranks[e.track].progress.push_back({e.ts, e.ts + e.dur});
+        ix.ranks[e.track].activity_starts.push_back(e.ts);
+      }
+    } else if (e.cat == "nbc") {
+      if (e.name == "nbc.op" && e.is_span()) {
+        ix.ops[e.corr].push_back({e.track, e.ts, e.dur});
+      } else if (e.name == "nbc.start") {
+        ++ix.ops_started;
+      } else if (e.name == "nbc.round") {
+        ix.ranks[e.track].activity_starts.push_back(e.ts);
+      }
+    } else if (e.cat == "msg") {
+      if (e.corr == 0) continue;
+      MsgInfo& m = ix.msgs[e.corr];
+      if (is_post_name(e.name)) {
+        m.post_ts = e.ts;
+        m.post_track = e.track;
+      } else if (e.name == "msg.deliver" || e.name == "msg.complete") {
+        // msg.complete (payload landed) supersedes the control-path
+        // deliver of the same transfer if both ever appear.
+        m.arrival_ts = e.ts;
+        m.arrival_track = e.track;
+      }
+    }
+  }
+  for (auto& [rank, ri] : ix.ranks) {
+    auto by_start = [](const Interval& x, const Interval& y) {
+      return x.a < y.a;
+    };
+    std::sort(ri.compute.begin(), ri.compute.end(), by_start);
+    std::sort(ri.progress.begin(), ri.progress.end(), by_start);
+    std::sort(ri.activity_starts.begin(), ri.activity_starts.end());
+  }
+  // Inbound lists need the msgs map complete first; sort by (arrival,
+  // corr) so the order is deterministic regardless of map iteration.
+  for (const auto& [corr, m] : ix.msgs) {
+    if (m.arrival_track >= 0) {
+      ix.ranks[m.arrival_track].inbound.push_back(corr);
+    }
+  }
+  for (auto& [rank, ri] : ix.ranks) {
+    std::sort(ri.inbound.begin(), ri.inbound.end(),
+              [&](std::uint64_t x, std::uint64_t y) {
+                const double ax = ix.msgs[x].arrival_ts;
+                const double ay = ix.msgs[y].arrival_ts;
+                return ax != ay ? ax < ay : x < y;
+              });
+  }
+  return ix;
+}
+
+// ----------------------------------------------------------- interval math
+
+/// Clip `iv` to [lo, hi]; returns an empty interval when disjoint.
+Interval clip(Interval iv, double lo, double hi) {
+  iv.a = std::max(iv.a, lo);
+  iv.b = std::min(iv.b, hi);
+  if (iv.b < iv.a) iv.b = iv.a;
+  return iv;
+}
+
+/// Total length of the union of `ivs` clipped to [lo, hi].
+double union_length(std::vector<Interval> ivs, double lo, double hi) {
+  double sum = 0.0;
+  for (auto& iv : ivs) iv = clip(iv, lo, hi);
+  std::sort(ivs.begin(), ivs.end(),
+            [](const Interval& x, const Interval& y) { return x.a < y.a; });
+  double cur_a = 0.0, cur_b = -1.0;
+  for (const Interval& iv : ivs) {
+    if (iv.b <= iv.a) continue;
+    if (cur_b < cur_a) {
+      cur_a = iv.a;
+      cur_b = iv.b;
+    } else if (iv.a <= cur_b) {
+      cur_b = std::max(cur_b, iv.b);
+    } else {
+      sum += cur_b - cur_a;
+      cur_a = iv.a;
+      cur_b = iv.b;
+    }
+  }
+  if (cur_b > cur_a) sum += cur_b - cur_a;
+  return sum;
+}
+
+/// Collect the members of `sorted` (by start) overlapping [lo, hi].
+void collect_overlapping(const std::vector<Interval>& sorted, double lo,
+                         double hi, std::vector<Interval>& out) {
+  for (const Interval& iv : sorted) {
+    if (iv.a >= hi) break;
+    if (iv.b > lo) out.push_back(clip(iv, lo, hi));
+  }
+}
+
+// ------------------------------------------------------------ blame sweep
+
+enum BlameCat : int {
+  kCompute = 0,
+  kProgress,
+  kWire,
+  kLateSender,
+  kMissingProgress,
+  kCatCount
+};
+
+/// Partition [lo, hi] by priority: each elementary segment goes to the
+/// highest-priority (lowest enum) category covering it; uncovered time is
+/// "other".  The six sums telescope to hi - lo.
+Blame sweep(const std::vector<Interval> (&cats)[kCatCount], double lo,
+            double hi) {
+  Blame blame;
+  std::vector<double> cuts{lo, hi};
+  for (const auto& ivs : cats) {
+    for (const Interval& iv : ivs) {
+      if (iv.b <= iv.a) continue;
+      cuts.push_back(std::clamp(iv.a, lo, hi));
+      cuts.push_back(std::clamp(iv.b, lo, hi));
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  double* sums[kCatCount] = {&blame.compute, &blame.progress, &blame.wire,
+                             &blame.late_sender, &blame.missing_progress};
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double a = cuts[i], b = cuts[i + 1];
+    const double mid = a + (b - a) / 2.0;
+    int winner = -1;
+    for (int c = 0; c < kCatCount && winner < 0; ++c) {
+      for (const Interval& iv : cats[c]) {
+        if (iv.a <= mid && mid < iv.b) {
+          winner = c;
+          break;
+        }
+      }
+    }
+    if (winner >= 0) {
+      *sums[winner] += b - a;
+    } else {
+      blame.other += b - a;
+    }
+  }
+  return blame;
+}
+
+/// First progress activity (pass start or round post) on the rank at or
+/// after `t`; falls back to `fallback` when the rank never progresses
+/// again inside the window.
+double next_activity(const RankIndex& ri, double t, double fallback) {
+  auto it = std::lower_bound(ri.activity_starts.begin(),
+                             ri.activity_starts.end(), t);
+  if (it == ri.activity_starts.end()) return fallback;
+  return std::min(*it, fallback);
+}
+
+/// Blame partition + critical-path walk of one op instance.
+OpCritical analyze_op(const Index& ix, std::uint64_t corr,
+                      const std::vector<OpSpan>& spans, int max_hops) {
+  OpCritical oc;
+  oc.corr = corr;
+  const OpSpan* crit = &spans.front();
+  for (const OpSpan& s : spans) {
+    if (s.ts + s.dur > crit->ts + crit->dur) crit = &s;
+  }
+  oc.critical_rank = crit->rank;
+  oc.start = crit->ts;
+  oc.elapsed = crit->dur;
+  const double lo = crit->ts, hi = crit->ts + crit->dur;
+
+  auto rit = ix.ranks.find(crit->rank);
+  static const RankIndex kNone;
+  const RankIndex& ri = rit != ix.ranks.end() ? rit->second : kNone;
+
+  std::vector<Interval> cats[kCatCount];
+  collect_overlapping(ri.compute, lo, hi, cats[kCompute]);
+  collect_overlapping(ri.progress, lo, hi, cats[kProgress]);
+  // Inbound transfers landing in the window drive the remaining three
+  // categories: their wire serialization, the wait before the sender
+  // posted, and the post-arrival gap until this rank progressed again.
+  for (std::size_t id : ri.inbound) {
+    const MsgInfo& m = ix.msgs.at(id);
+    if (m.arrival_ts < lo || m.arrival_ts > hi) continue;
+    for (const Interval& w : m.wire) {
+      const Interval c = clip(w, lo, hi);
+      if (c.b > c.a) cats[kWire].push_back(c);
+    }
+    if (m.post_ts > lo) {
+      cats[kLateSender].push_back({lo, std::min(m.post_ts, hi)});
+    }
+    const double seen = next_activity(ri, m.arrival_ts, hi);
+    if (seen > m.arrival_ts) {
+      cats[kMissingProgress].push_back({m.arrival_ts, seen});
+    }
+  }
+  oc.blame = sweep(cats, lo, hi);
+
+  // Backwards walk: who was everybody waiting for?
+  int cur_rank = crit->rank;
+  double cur_t = hi;
+  for (int hop = 0; hop < max_hops; ++hop) {
+    auto rit2 = ix.ranks.find(cur_rank);
+    if (rit2 == ix.ranks.end()) break;
+    const RankIndex& cri = rit2->second;
+    const MsgInfo* found = nullptr;
+    std::uint64_t found_corr = 0;
+    for (auto it = cri.inbound.rbegin(); it != cri.inbound.rend(); ++it) {
+      const MsgInfo& m = ix.msgs.at(*it);
+      if (m.arrival_ts <= cur_t && m.arrival_ts >= lo) {
+        found = &m;
+        found_corr = *it;
+        break;
+      }
+    }
+    if (found == nullptr || found->post_track < 0) break;
+    oc.hops.push_back({cur_rank, found->post_track, found_corr,
+                       found->post_ts, found->arrival_ts});
+    if (found->post_ts <= lo || found->post_ts >= cur_t) break;
+    cur_rank = found->post_track;
+    cur_t = found->post_ts;
+  }
+  return oc;
+}
+
+// --------------------------------------------------------------- overlap
+
+std::vector<RankOverlap> analyze_overlap(const Index& ix) {
+  std::vector<RankOverlap> out;
+  // Per-rank op windows.
+  std::map<int, std::vector<Interval>> windows;
+  for (const auto& [corr, spans] : ix.ops) {
+    for (const OpSpan& s : spans) {
+      windows[s.rank].push_back({s.ts, s.ts + s.dur});
+    }
+  }
+  for (auto& [rank, wins] : windows) {
+    std::sort(wins.begin(), wins.end(),
+              [](const Interval& x, const Interval& y) { return x.a < y.a; });
+    RankOverlap ro;
+    ro.rank = rank;
+    ro.ops = wins.size();
+    auto rit = ix.ranks.find(rank);
+    static const RankIndex kNone;
+    const RankIndex& ri = rit != ix.ranks.end() ? rit->second : kNone;
+    // Wire intervals correlated with this rank's traffic (sent or
+    // received), fetched once and clipped per window below.
+    std::vector<Interval> rank_wire;
+    for (const auto& [corr, m] : ix.msgs) {
+      if (m.post_track == rank || m.arrival_track == rank) {
+        rank_wire.insert(rank_wire.end(), m.wire.begin(), m.wire.end());
+      }
+    }
+    double ratio_sum = 0.0;
+    std::uint64_t ratio_n = 0;
+    for (const Interval& w : wins) {
+      const double e = w.b - w.a;
+      std::vector<Interval> comp;
+      collect_overlapping(ri.compute, w.a, w.b, comp);
+      const double c = union_length(comp, w.a, w.b);
+      const double wi = union_length(rank_wire, w.a, w.b);
+      ro.op_time += e;
+      ro.compute_in_op += c;
+      ro.wire_in_op += wi;
+      ro.slack += std::max(0.0, e - std::max(c, wi));
+      const double m = std::min(c, wi);
+      if (m > 0.0 && e > 0.0) {
+        ratio_sum += std::clamp((c + wi - e) / m, 0.0, 1.0);
+        ++ratio_n;
+      }
+    }
+    ro.overlap_ratio = ratio_n > 0 ? ratio_sum / static_cast<double>(ratio_n)
+                                   : 0.0;
+    out.push_back(ro);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ adcl audit
+
+AdclAudit analyze_adcl(const ScenarioTrace& t) {
+  AdclAudit a;
+  // Every rank emits the (identical, rank-agreed) adcl events; audit the
+  // lowest participating track only.
+  int track = -1;
+  for (const AEvent& e : t.events) {
+    if (e.cat == "adcl" && e.track >= 0 &&
+        (track < 0 || e.track < track)) {
+      track = e.track;
+    }
+  }
+  if (track < 0) return a;
+  a.present = true;
+  for (const AEvent& e : t.events) {
+    if (e.cat != "adcl" || e.track != track) continue;
+    if (e.name == "adcl.score") {
+      AdclScore s;
+      s.func = static_cast<int>(e.arg("func"));
+      s.score = static_cast<double>(e.arg("score_ns")) * 1e-9;
+      s.iteration = static_cast<int>(e.corr);
+      a.scores.push_back(s);
+    } else if (e.name == "adcl.decision") {
+      a.winner = static_cast<int>(e.arg("winner"));
+      a.decision_iteration = static_cast<int>(e.arg("iter"));
+      a.decision_ts = e.ts;
+    }
+  }
+  // Last score per function (later refinements override earlier ones).
+  std::map<int, double> best;
+  for (const AdclScore& s : a.scores) best[s.func] = s.score;
+  if (a.winner >= 0) {
+    auto it = best.find(a.winner);
+    if (it != best.end()) a.winner_score = it->second;
+    double runner = 0.0;
+    bool have = false;
+    for (const auto& [f, sc] : best) {
+      if (f == a.winner) continue;
+      if (!have || sc < runner) {
+        runner = sc;
+        have = true;
+      }
+    }
+    if (have) {
+      a.runner_up_score = runner;
+      if (a.winner_score > 0.0) {
+        a.margin = (runner - a.winner_score) / a.winner_score;
+      }
+    }
+  }
+  auto ctr = [&](const char* name) -> std::uint64_t {
+    auto it = t.counters.find(name);
+    return it == t.counters.end() ? 0 : it->second;
+  };
+  a.samples_seen = ctr("adcl.samples_seen");
+  a.samples_filtered = ctr("adcl.samples_filtered");
+  return a;
+}
+
+// ------------------------------------------------------------ guidelines
+
+void fmt_ns(std::string& s, double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld",
+                static_cast<long long>(std::llround(seconds * 1e9)));
+  s += buf;
+  s += "ns";
+}
+
+std::vector<GuidelineResult> check_guidelines(
+    const std::vector<ScenarioReport>& scenarios, const Options& opts) {
+  std::vector<GuidelineResult> out;
+
+  // G1: every started operation completes (conservation; catches lost
+  // wakeups and dangling handles).  Universal: applies to every traced
+  // scenario of every driver.
+  {
+    GuidelineResult g;
+    g.id = "G1";
+    g.description = "every started non-blocking operation completes";
+    for (const ScenarioReport& s : scenarios) {
+      ++g.checked;
+      if (s.ops_started == s.ops_completed) {
+        ++g.passed;
+      } else {
+        g.violations.push_back(s.label + ": started " +
+                               std::to_string(s.ops_started) +
+                               " != completed " +
+                               std::to_string(s.ops_completed));
+      }
+    }
+    out.push_back(std::move(g));
+  }
+
+  // Index microbench-labelled scenarios for the comparative guidelines.
+  struct Cell {
+    const ScenarioReport* s = nullptr;
+    LabelKey key;
+  };
+  std::map<std::string, std::vector<Cell>> groups;       // G2/G3
+  std::map<std::string, std::vector<Cell>> size_groups;  // G4
+  for (const ScenarioReport& s : scenarios) {
+    LabelKey k = parse_label(s.label);
+    if (!k.valid || s.ops_completed == 0) continue;
+    groups[k.group()].push_back({&s, k});
+    size_groups[k.size_group()].push_back({&s, k});
+  }
+
+  // G2: the tuned winner is no slower than the best fixed candidate
+  // (post-decision iterations, tolerance epsilon).
+  {
+    GuidelineResult g;
+    g.id = "G2";
+    g.description = "tuned winner <= best fixed candidate (post-decision)";
+    for (const auto& [key, cells] : groups) {
+      double best_fixed = 0.0;
+      std::string best_label;
+      for (const Cell& c : cells) {
+        if (c.key.what.rfind("fixed:", 0) != 0) continue;
+        if (best_label.empty() || c.s->mean_op_elapsed < best_fixed) {
+          best_fixed = c.s->mean_op_elapsed;
+          best_label = c.s->label;
+        }
+      }
+      if (best_label.empty()) continue;
+      for (const Cell& c : cells) {
+        if (c.key.what.rfind("adcl:", 0) != 0) continue;
+        ++g.checked;
+        const double tuned = c.s->post_decision_op_elapsed;
+        if (tuned <= best_fixed * (1.0 + opts.epsilon)) {
+          ++g.passed;
+        } else {
+          std::string v = c.s->label + ": tuned ";
+          fmt_ns(v, tuned);
+          v += " > best fixed ";
+          fmt_ns(v, best_fixed);
+          v += " (" + best_label + ")";
+          g.violations.push_back(std::move(v));
+        }
+      }
+    }
+    out.push_back(std::move(g));
+  }
+
+  // G3: at zero compute a non-blocking implementation is no slower than
+  // its blocking twin (no overlap to win, none to lose).
+  {
+    GuidelineResult g;
+    g.id = "G3";
+    g.description =
+        "non-blocking <= blocking twin at zero compute (tolerance epsilon)";
+    for (const auto& [key, cells] : groups) {
+      for (const Cell& blocking : cells) {
+        constexpr std::string_view kPrefix = "fixed:blocking-";
+        if (blocking.key.what.rfind(kPrefix.data(), 0) != 0) continue;
+        const std::string twin =
+            "fixed:" + blocking.key.what.substr(kPrefix.size());
+        for (const Cell& c : cells) {
+          if (c.key.what != twin) continue;
+          if (!c.s->zero_compute || !blocking.s->zero_compute) continue;
+          ++g.checked;
+          if (c.s->mean_op_elapsed <=
+              blocking.s->mean_op_elapsed * (1.0 + opts.epsilon)) {
+            ++g.passed;
+          } else {
+            std::string v = c.s->label + ": non-blocking ";
+            fmt_ns(v, c.s->mean_op_elapsed);
+            v += " > blocking ";
+            fmt_ns(v, blocking.s->mean_op_elapsed);
+            g.violations.push_back(std::move(v));
+          }
+        }
+      }
+    }
+    out.push_back(std::move(g));
+  }
+
+  // G4: op time is monotone in message size for a fixed implementation
+  // (allowing a small dip for protocol switches measured under noise).
+  {
+    GuidelineResult g;
+    g.id = "G4";
+    g.description = "op time monotone non-decreasing in message size";
+    for (const auto& [key, cells] : size_groups) {
+      if (cells.size() < 2) continue;
+      std::vector<Cell> sorted = cells;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const Cell& x, const Cell& y) {
+                  return x.key.bytes < y.key.bytes;
+                });
+      for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        if (sorted[i].key.bytes == sorted[i + 1].key.bytes) continue;
+        ++g.checked;
+        const double small = sorted[i].s->mean_op_elapsed;
+        const double big = sorted[i + 1].s->mean_op_elapsed;
+        if (big >= small * (1.0 - opts.monotonicity_tolerance)) {
+          ++g.passed;
+        } else {
+          std::string v = sorted[i + 1].s->label + ": ";
+          fmt_ns(v, big);
+          v += " at " + std::to_string(sorted[i + 1].key.bytes) +
+               "B < " ;
+          fmt_ns(v, small);
+          v += " at " + std::to_string(sorted[i].key.bytes) + "B";
+          g.violations.push_back(std::move(v));
+        }
+      }
+    }
+    out.push_back(std::move(g));
+  }
+
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- driver
+
+Report analyze(const std::vector<ScenarioTrace>& traces,
+               const Options& opts) {
+  Report report;
+  report.scenarios.reserve(traces.size());
+  for (const ScenarioTrace& t : traces) {
+    ScenarioReport sr;
+    sr.label = t.label;
+    const Index ix = build_index(t);
+    sr.ops_started = ix.ops_started;
+    sr.zero_compute = !ix.any_compute;
+
+    double op_sum = 0.0;
+    std::uint64_t op_n = 0;
+    for (const auto& [corr, spans] : ix.ops) {
+      for (const OpSpan& s : spans) {
+        op_sum += s.dur;
+        ++op_n;
+      }
+    }
+    sr.ops_completed = op_n;
+    sr.mean_op_elapsed = op_n > 0 ? op_sum / static_cast<double>(op_n) : 0.0;
+
+    double worst_elapsed = -1.0;
+    for (const auto& [corr, spans] : ix.ops) {
+      OpCritical oc = analyze_op(ix, corr, spans, opts.max_hops);
+      sr.blame.compute += oc.blame.compute;
+      sr.blame.progress += oc.blame.progress;
+      sr.blame.wire += oc.blame.wire;
+      sr.blame.late_sender += oc.blame.late_sender;
+      sr.blame.missing_progress += oc.blame.missing_progress;
+      sr.blame.other += oc.blame.other;
+      if (oc.elapsed > worst_elapsed) {
+        worst_elapsed = oc.elapsed;
+        sr.worst = std::move(oc);
+        sr.has_critical = true;
+      }
+    }
+
+    sr.ranks = analyze_overlap(ix);
+    sr.adcl = analyze_adcl(t);
+
+    // Post-decision performance: ops starting after the decision event.
+    sr.post_decision_op_elapsed = sr.mean_op_elapsed;
+    if (sr.adcl.present && sr.adcl.winner >= 0) {
+      double sum = 0.0;
+      std::uint64_t n = 0;
+      for (const auto& [corr, spans] : ix.ops) {
+        for (const OpSpan& s : spans) {
+          if (s.ts > sr.adcl.decision_ts) {
+            sum += s.dur;
+            ++n;
+          }
+        }
+      }
+      if (n > 0) sr.post_decision_op_elapsed = sum / static_cast<double>(n);
+    }
+    report.scenarios.push_back(std::move(sr));
+  }
+  report.guidelines = check_guidelines(report.scenarios, opts);
+  return report;
+}
+
+}  // namespace nbctune::analyze

@@ -1,0 +1,248 @@
+#pragma once
+
+// Post-hoc trace analysis (the "why was it slow" layer).  Consumes
+// finished per-scenario traces — either in-process trace::FinishedTrace
+// objects or a previously exported Chrome trace-event JSON — and derives:
+//
+//   * critical-path extraction per collective operation: the chain of
+//     "rank finished last <- message it waited for <- sender posted it"
+//     hops through the send/recv/progress dependency graph, plus an
+//     exact blame partition of the critical rank's op window into
+//     compute / progress / wire / late-sender / missing-progress / other
+//     (the six components sum to the op's elapsed time by construction);
+//   * overlap and slack accounting per rank and per NBC handle: achieved
+//     communication/computation overlap ratio against the LogGP ideal
+//     (perfect overlap hides min(compute, wire) entirely, so the ideal
+//     ratio is 1 whenever both are non-zero) and the slack the operation
+//     left on the table;
+//   * an ADCL decision audit: every agreed batch score, the winner, the
+//     margin over the runner-up and the decision iteration, replayed
+//     from adcl.score / adcl.decision events;
+//   * performance-guideline checks over the whole scenario set (G1-G4
+//     below), the trace-level analogue of the self-consistent-performance
+//     rules the paper's tuning results are expected to satisfy.
+//
+// All analysis is pure: no simulator state is touched, so the same
+// report can be produced live by a bench driver (--report) or offline by
+// tools/nbctune-analyze from an exported trace file.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nbctune::trace {
+struct FinishedTrace;
+}
+
+namespace nbctune::analyze {
+
+// ------------------------------------------------------------------- IR
+
+/// One trace event, decoupled from the static-string lifetime rules of
+/// the live tracer so it can also be populated from a parsed JSON file.
+struct AEvent {
+  double ts = 0.0;    ///< start, simulated seconds
+  double dur = -1.0;  ///< span duration; < 0 encodes an instant
+  std::int32_t track = 0;  ///< >= 0 rank; < 0 wire lane (trace::wire_track)
+  std::string cat;
+  std::string name;
+  std::string akey;  ///< empty = absent
+  std::uint64_t aval = 0;
+  std::string bkey;
+  std::uint64_t bval = 0;
+  std::uint64_t corr = 0;  ///< causal-chain id (0 = unlinked)
+
+  [[nodiscard]] bool is_span() const noexcept { return dur >= 0.0; }
+  [[nodiscard]] double end() const noexcept {
+    return is_span() ? ts + dur : ts;
+  }
+  /// Value of argument `key`, or `fallback` when absent.
+  [[nodiscard]] std::uint64_t arg(const std::string& key,
+                                  std::uint64_t fallback = 0) const noexcept {
+    if (akey == key) return aval;
+    if (bkey == key) return bval;
+    return fallback;
+  }
+};
+
+/// One scenario's events plus its per-scenario counters (counters are
+/// only available on the in-process path; the Chrome export aggregates
+/// them across scenarios into the separate counter dump).
+struct ScenarioTrace {
+  std::string label;
+  std::vector<AEvent> events;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+/// Convert a live finished trace into the analyzer IR.
+[[nodiscard]] ScenarioTrace from_finished(const trace::FinishedTrace& t);
+
+// -------------------------------------------------------------- results
+
+/// Exact partition of a critical rank's op window.  Components are
+/// disjoint by construction (priority compute > progress > wire >
+/// late-sender > missing-progress > other), so they sum to the elapsed
+/// time up to floating-point rounding.
+struct Blame {
+  double compute = 0.0;   ///< application compute on the critical rank
+  double progress = 0.0;  ///< progress-engine work (posting, matching)
+  double wire = 0.0;      ///< inbound payload serialized on the wire
+  double late_sender = 0.0;       ///< waiting before the sender even posted
+  double missing_progress = 0.0;  ///< data arrived, nobody advanced the op
+  double other = 0.0;             ///< unattributed remainder
+  [[nodiscard]] double total() const noexcept {
+    return compute + progress + wire + late_sender + missing_progress + other;
+  }
+};
+
+/// One backwards hop of the critical path: `rank` was blocked until the
+/// message `corr` (posted by `from_rank` at `post_ts`) arrived at
+/// `arrival_ts`.
+struct CriticalHop {
+  int rank = -1;
+  int from_rank = -1;
+  std::uint64_t corr = 0;
+  double post_ts = 0.0;
+  double arrival_ts = 0.0;
+};
+
+/// Critical-path analysis of one collective operation instance (all
+/// nbc.op spans sharing one correlation id across ranks).
+struct OpCritical {
+  std::uint64_t corr = 0;
+  int critical_rank = -1;  ///< rank whose nbc.op span finished last
+  double start = 0.0;      ///< critical rank's op start
+  double elapsed = 0.0;    ///< critical rank's op duration
+  Blame blame;
+  std::vector<CriticalHop> hops;  ///< newest hop first
+};
+
+/// Per-rank overlap/slack accounting aggregated over the rank's NBC
+/// handles (= nbc.op spans).
+struct RankOverlap {
+  int rank = -1;
+  std::uint64_t ops = 0;
+  double op_time = 0.0;       ///< sum of op elapsed
+  double compute_in_op = 0.0; ///< compute overlapped with op windows
+  double wire_in_op = 0.0;    ///< correlated wire time within op windows
+  /// Mean achieved overlap ratio: (C + W - E) / min(C, W), clamped to
+  /// [0, 1]; the LogGP ideal is 1 (communication fully hidden).
+  double overlap_ratio = 0.0;
+  double slack = 0.0;  ///< sum of E - max(C, W): time neither side used
+};
+
+/// One agreed ADCL batch score replayed from the trace.
+struct AdclScore {
+  int func = -1;
+  double score = 0.0;  ///< seconds (decoded from score_ns)
+  int iteration = 0;
+};
+
+/// Decision audit of one tuned scenario.
+struct AdclAudit {
+  bool present = false;  ///< scenario recorded adcl events
+  int winner = -1;
+  int decision_iteration = -1;
+  double decision_ts = 0.0;
+  double winner_score = 0.0;
+  double runner_up_score = 0.0;  ///< best non-winner score (0 if none)
+  /// Relative margin (runner_up - winner) / winner; 0 with < 2 scores.
+  double margin = 0.0;
+  std::uint64_t samples_seen = 0;      ///< from per-scenario counters
+  std::uint64_t samples_filtered = 0;  ///< (0 when unavailable)
+  std::vector<AdclScore> scores;       ///< chronological
+};
+
+/// Everything derived from one scenario trace.
+struct ScenarioReport {
+  std::string label;
+  std::uint64_t ops_started = 0;
+  std::uint64_t ops_completed = 0;
+  double mean_op_elapsed = 0.0;  ///< mean nbc.op duration, seconds
+  /// Mean op elapsed over ops starting after the ADCL decision (equals
+  /// mean_op_elapsed when there is no decision event).
+  double post_decision_op_elapsed = 0.0;
+  bool zero_compute = true;  ///< no compute spans anywhere in the trace
+  Blame blame;               ///< summed over every op instance
+  bool has_critical = false;
+  OpCritical worst;  ///< the op instance with the largest elapsed
+  std::vector<RankOverlap> ranks;
+  AdclAudit adcl;
+};
+
+/// Outcome of one performance-guideline check.
+struct GuidelineResult {
+  std::string id;           ///< "G1".."G4"
+  std::string description;
+  int checked = 0;  ///< comparisons evaluated
+  int passed = 0;
+  std::vector<std::string> violations;  ///< human-readable, deterministic
+  [[nodiscard]] const char* status() const noexcept {
+    if (checked == 0) return "n/a";
+    return passed == checked ? "pass" : "FAIL";
+  }
+};
+
+struct Report {
+  std::vector<ScenarioReport> scenarios;
+  std::vector<GuidelineResult> guidelines;
+  /// Session-wide counter totals (filled by the CLI from the flat
+  /// counter dump; empty on the in-process path, where counters live
+  /// per-scenario in ScenarioTrace::counters instead).
+  std::map<std::string, std::uint64_t> session_counters;
+};
+
+// ------------------------------------------------------------- analysis
+
+struct Options {
+  /// Tolerance for guideline comparisons (G2/G3): candidate may exceed
+  /// the reference by this relative fraction before it counts as a
+  /// violation (tuning measures under noise, so exact dominance is not a
+  /// realistic requirement — see paper §IV).
+  double epsilon = 0.25;
+  /// Allowed relative dip for the message-size monotonicity check (G4).
+  double monotonicity_tolerance = 0.05;
+  /// Hop limit for the backwards critical-path walk.
+  int max_hops = 16;
+};
+
+/// Analyze a batch of scenario traces (one bench run).  Deterministic:
+/// output depends only on the trace contents and options.
+[[nodiscard]] Report analyze(const std::vector<ScenarioTrace>& traces,
+                             const Options& opts = {});
+
+// -------------------------------------------------------------- writers
+
+/// Machine-readable report.  All numeric fields are integers (times in
+/// nanoseconds, ratios in basis points), so the bytes are identical
+/// across compilers and libcs — CI diffs this against a committed
+/// golden.
+void write_json(std::ostream& os, const Report& report);
+
+/// Human-readable tables (same content, friendlier units).
+void write_table(std::ostream& os, const Report& report);
+
+// ---------------------------------------------------- label conventions
+
+/// Parsed scenario label: "<op> <platform> np<N> <bytes>B <what>"
+/// (microbench convention; see harness/microbench.cpp).  `valid` is
+/// false for labels of other shapes (e.g. the FFT benches), which then
+/// only participate in the universal guideline G1.
+struct LabelKey {
+  bool valid = false;
+  std::string op;
+  std::string platform;
+  int nprocs = 0;
+  std::uint64_t bytes = 0;
+  std::string what;  ///< "fixed:<impl>" or "adcl:<policy>"
+  /// Group key ignoring the what part (G2/G3 compare within a group).
+  [[nodiscard]] std::string group() const;
+  /// Group key ignoring the message size (G4 sweeps sizes).
+  [[nodiscard]] std::string size_group() const;
+};
+
+[[nodiscard]] LabelKey parse_label(const std::string& label);
+
+}  // namespace nbctune::analyze

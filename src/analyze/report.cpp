@@ -1,0 +1,221 @@
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "analyze/analyze.hpp"
+
+// Report writers.  The JSON writer emits integers only (times in
+// nanoseconds, ratios in basis points) so the bytes are identical across
+// compilers, libcs and thread counts; CI diffs the output against a
+// committed golden.
+
+namespace nbctune::analyze {
+
+namespace {
+
+long long ns(double seconds) {
+  return static_cast<long long>(std::llround(seconds * 1e9));
+}
+
+long long bp(double ratio) {
+  return static_cast<long long>(std::llround(ratio * 1e4));
+}
+
+void put_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+void put_str(std::ostream& os, const char* key, const std::string& v,
+             bool comma = true) {
+  os << "\"" << key << "\":\"";
+  put_escaped(os, v);
+  os << "\"";
+  if (comma) os << ",";
+}
+
+void put_blame(std::ostream& os, const char* key, const Blame& b) {
+  os << "\"" << key << "\":{\"compute\":" << ns(b.compute)
+     << ",\"progress\":" << ns(b.progress) << ",\"wire\":" << ns(b.wire)
+     << ",\"late_sender\":" << ns(b.late_sender)
+     << ",\"missing_progress\":" << ns(b.missing_progress)
+     << ",\"other\":" << ns(b.other) << ",\"total\":" << ns(b.total()) << "}";
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const Report& report) {
+  os << "{\"schema\":\"nbctune-report-v1\"";
+  os << ",\"scenario_count\":" << report.scenarios.size();
+  os << ",\"scenarios\":[";
+  for (std::size_t i = 0; i < report.scenarios.size(); ++i) {
+    const ScenarioReport& s = report.scenarios[i];
+    os << (i == 0 ? "" : ",") << "\n{";
+    put_str(os, "label", s.label);
+    os << "\"ops_started\":" << s.ops_started
+       << ",\"ops_completed\":" << s.ops_completed
+       << ",\"mean_op_ns\":" << ns(s.mean_op_elapsed)
+       << ",\"post_decision_op_ns\":" << ns(s.post_decision_op_elapsed)
+       << ",\"zero_compute\":" << (s.zero_compute ? "true" : "false") << ",";
+    put_blame(os, "blame_ns", s.blame);
+    if (s.has_critical) {
+      const OpCritical& c = s.worst;
+      os << ",\"critical\":{\"corr\":" << c.corr
+         << ",\"rank\":" << c.critical_rank << ",\"start_ns\":" << ns(c.start)
+         << ",\"elapsed_ns\":" << ns(c.elapsed) << ",";
+      put_blame(os, "blame_ns", c.blame);
+      os << ",\"hops\":[";
+      for (std::size_t h = 0; h < c.hops.size(); ++h) {
+        const CriticalHop& hop = c.hops[h];
+        os << (h == 0 ? "" : ",") << "{\"rank\":" << hop.rank
+           << ",\"from\":" << hop.from_rank << ",\"corr\":" << hop.corr
+           << ",\"post_ns\":" << ns(hop.post_ts)
+           << ",\"arrival_ns\":" << ns(hop.arrival_ts) << "}";
+      }
+      os << "]}";
+    }
+    os << ",\"ranks\":[";
+    for (std::size_t r = 0; r < s.ranks.size(); ++r) {
+      const RankOverlap& ro = s.ranks[r];
+      os << (r == 0 ? "" : ",") << "{\"rank\":" << ro.rank
+         << ",\"ops\":" << ro.ops << ",\"op_ns\":" << ns(ro.op_time)
+         << ",\"compute_ns\":" << ns(ro.compute_in_op)
+         << ",\"wire_ns\":" << ns(ro.wire_in_op)
+         << ",\"overlap_bp\":" << bp(ro.overlap_ratio)
+         << ",\"slack_ns\":" << ns(ro.slack) << "}";
+    }
+    os << "]";
+    if (s.adcl.present) {
+      const AdclAudit& a = s.adcl;
+      os << ",\"adcl\":{\"winner\":" << a.winner
+         << ",\"decision_iteration\":" << a.decision_iteration
+         << ",\"decision_ns\":" << ns(a.decision_ts)
+         << ",\"winner_score_ns\":" << ns(a.winner_score)
+         << ",\"runner_up_score_ns\":" << ns(a.runner_up_score)
+         << ",\"margin_bp\":" << bp(a.margin)
+         << ",\"samples_seen\":" << a.samples_seen
+         << ",\"samples_filtered\":" << a.samples_filtered << ",\"scores\":[";
+      for (std::size_t k = 0; k < a.scores.size(); ++k) {
+        const AdclScore& sc = a.scores[k];
+        os << (k == 0 ? "" : ",") << "{\"func\":" << sc.func
+           << ",\"score_ns\":" << ns(sc.score) << ",\"iter\":" << sc.iteration
+           << "}";
+      }
+      os << "]}";
+    }
+    os << "}";
+  }
+  os << "\n]";
+  if (!report.session_counters.empty()) {
+    os << ",\"session_counters\":{";
+    bool first = true;
+    for (const auto& [k, v] : report.session_counters) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"";
+      put_escaped(os, k);
+      os << "\":" << v;
+    }
+    os << "}";
+  }
+  os << ",\"guidelines\":[";
+  for (std::size_t i = 0; i < report.guidelines.size(); ++i) {
+    const GuidelineResult& g = report.guidelines[i];
+    os << (i == 0 ? "" : ",") << "\n{";
+    put_str(os, "id", g.id);
+    put_str(os, "description", g.description);
+    os << "\"checked\":" << g.checked << ",\"passed\":" << g.passed << ",";
+    put_str(os, "status", g.status());
+    os << "\"violations\":[";
+    for (std::size_t v = 0; v < g.violations.size(); ++v) {
+      os << (v == 0 ? "" : ",") << "\"";
+      put_escaped(os, g.violations[v]);
+      os << "\"";
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+}
+
+namespace {
+
+std::string us(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string pct(double num, double den) {
+  if (den <= 0.0) return "-";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * num / den);
+  return buf;
+}
+
+}  // namespace
+
+void write_table(std::ostream& os, const Report& report) {
+  os << "== trace analysis: " << report.scenarios.size()
+     << " scenario(s) ==\n";
+  for (const ScenarioReport& s : report.scenarios) {
+    os << "\n-- " << s.label << " --\n";
+    os << "  ops " << s.ops_completed << "/" << s.ops_started
+       << " completed, mean op " << us(s.mean_op_elapsed) << " us";
+    if (s.adcl.present) {
+      os << ", post-decision " << us(s.post_decision_op_elapsed) << " us";
+    }
+    os << "\n";
+    const double tot = s.blame.total();
+    os << "  blame: compute " << pct(s.blame.compute, tot) << ", progress "
+       << pct(s.blame.progress, tot) << ", wire " << pct(s.blame.wire, tot)
+       << ", late-sender " << pct(s.blame.late_sender, tot)
+       << ", missing-progress " << pct(s.blame.missing_progress, tot)
+       << ", other " << pct(s.blame.other, tot) << "\n";
+    if (s.has_critical) {
+      const OpCritical& c = s.worst;
+      os << "  worst op: corr " << c.corr << " on rank " << c.critical_rank
+         << ", elapsed " << us(c.elapsed) << " us, " << c.hops.size()
+         << " critical hop(s)";
+      for (const CriticalHop& h : c.hops) {
+        os << "\n    rank " << h.rank << " <- msg " << h.corr << " from rank "
+           << h.from_rank << " (posted " << us(h.post_ts) << ", arrived "
+           << us(h.arrival_ts) << ")";
+      }
+      os << "\n";
+    }
+    for (const RankOverlap& r : s.ranks) {
+      os << "  rank " << r.rank << ": " << r.ops << " op(s), op time "
+         << us(r.op_time) << " us, compute-in-op " << us(r.compute_in_op)
+         << " us, wire-in-op " << us(r.wire_in_op) << " us, overlap "
+         << pct(r.overlap_ratio, 1.0) << ", slack " << us(r.slack) << " us\n";
+    }
+    if (s.adcl.present) {
+      const AdclAudit& a = s.adcl;
+      os << "  adcl: winner func " << a.winner << " at iteration "
+         << a.decision_iteration << ", score " << us(a.winner_score)
+         << " us, margin " << pct(a.margin, 1.0);
+      if (a.samples_seen > 0) {
+        os << ", filtered " << a.samples_filtered << "/" << a.samples_seen
+           << " samples";
+      }
+      os << "\n";
+      for (const AdclScore& sc : a.scores) {
+        os << "    iter " << sc.iteration << ": func " << sc.func << " -> "
+           << us(sc.score) << " us\n";
+      }
+    }
+  }
+  os << "\n== guidelines ==\n";
+  for (const GuidelineResult& g : report.guidelines) {
+    os << "  [" << g.status() << "] " << g.id << " " << g.description << ": "
+       << g.passed << "/" << g.checked << "\n";
+    for (const std::string& v : g.violations) {
+      os << "    violation: " << v << "\n";
+    }
+  }
+}
+
+}  // namespace nbctune::analyze

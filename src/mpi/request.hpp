@@ -55,6 +55,9 @@ struct Request {
   std::uint64_t match_id = 0;
   /// For senders: the receiver-side request the bulk completes (from CTS).
   std::uint64_t peer_match_id = 0;
+  /// Trace correlation of the bulk data transfer (CPU-chunked or NIC);
+  /// links its wire spans to the receiver-side completion instant.
+  std::uint64_t xfer_seq = 0;
 
   Status status;  ///< filled on receive completion
 };

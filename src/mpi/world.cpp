@@ -109,6 +109,7 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
   const int src_node = src.node;
   const int dst_node = ranks_[env.dst]->node;
   const auto& p = machine_.platform();
+  env.seq = ++next_msg_seq_;
   const std::size_t wire_bytes =
       env.kind == Envelope::Kind::Eager ? env.bytes : kCtrlBytes;
   const char* wire_what;
@@ -128,7 +129,7 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
                    : env.kind == Envelope::Kind::Rts ? "msg.rts"
                                                      : "msg.cts",
                    "dst", static_cast<std::uint64_t>(env.dst), "bytes",
-                   env.bytes);
+                   env.bytes, env.seq);
   }
 
   // Only payload-bearing messages count towards receive-side congestion;
@@ -146,7 +147,7 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
         src_node, earliest,
         static_cast<double>(wire_bytes) * p.mem_byte_time * factor +
             p.intra.msg_gap,
-        wire_what, wire_bytes);
+        wire_what, wire_bytes, env.seq);
     local_done = slot.end;
     arrival = slot.end + p.intra.latency;
   } else {
@@ -155,7 +156,7 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
     const double tx_time =
         static_cast<double>(wire_bytes) * p.inter.byte_time + p.inter.msg_gap;
     auto tx = machine_.reserve_tx(src_node, nic, earliest, tx_time, wire_what,
-                                  wire_bytes);
+                                  wire_bytes, env.seq);
     const double lat = machine_.latency(src_node, dst_node);
     // Receive side pays a per-message gap too (NIC message-rate limit)
     // and slows down under incast (congestion factor).
@@ -165,7 +166,7 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
         (static_cast<double>(wire_bytes) * p.inter.byte_time +
          p.inter.msg_gap) *
             factor,
-        wire_what, wire_bytes);
+        wire_what, wire_bytes, env.seq);
     local_done = tx.end;
     arrival = rx.end;
   }
@@ -184,7 +185,7 @@ void World::deliver(Envelope env) {
   if (trace::active()) {
     trace::instant(engine_.now(), dst_rank, trace::Cat::Msg, "msg.deliver",
                    "src", static_cast<std::uint64_t>(env.src), "bytes",
-                   env.bytes);
+                   env.bytes, env.seq);
   }
   dst.inbound.push_back(std::move(env));
   notify(dst_rank);
@@ -198,10 +199,11 @@ void World::start_nic_bulk(int src, int dst, Req sreq, std::uint64_t dst_match,
   const int src_node = srs.node;
   const int dst_node = ranks_[dst]->node;
   ++srs.data_msgs;
+  const std::uint64_t seq = ++next_msg_seq_;
   trace::count(trace::Ctr::MsgsNicBulks);
   if (trace::active()) {
     trace::instant(earliest, src, trace::Cat::Msg, "msg.bulk_nic", "dst",
-                   static_cast<std::uint64_t>(dst), "bytes", bytes);
+                   static_cast<std::uint64_t>(dst), "bytes", bytes, seq);
   }
   machine_.add_inflight(dst_node);
   sim::Time send_done, recv_done;
@@ -210,7 +212,7 @@ void World::start_nic_bulk(int src, int dst, Req sreq, std::uint64_t dst_match,
     const double factor = machine_.congestion_factor(dst_node, /*intra=*/true);
     auto slot = machine_.reserve_mem(
         src_node, earliest, static_cast<double>(bytes) * p.mem_byte_time * factor,
-        "wire.bulk", bytes);
+        "wire.bulk", bytes, seq);
     send_done = slot.end;
     recv_done = slot.end + p.intra.latency;
   } else {
@@ -219,14 +221,14 @@ void World::start_nic_bulk(int src, int dst, Req sreq, std::uint64_t dst_match,
     auto tx = machine_.reserve_tx(
         src_node, nic, earliest,
         static_cast<double>(bytes) * p.inter.byte_time + p.inter.msg_gap,
-        "wire.bulk", bytes);
+        "wire.bulk", bytes, seq);
     const double lat = machine_.latency(src_node, dst_node);
     const double factor = machine_.congestion_factor(dst_node, /*intra=*/false);
     auto rx = machine_.reserve_rx(
         dst_node, rnic, tx.start + lat,
         (static_cast<double>(bytes) * p.inter.byte_time + p.inter.msg_gap) *
             factor,
-        "wire.bulk", bytes);
+        "wire.bulk", bytes, seq);
     send_done = tx.end;
     recv_done = rx.end;
   }
@@ -236,9 +238,17 @@ void World::start_nic_bulk(int src, int dst, Req sreq, std::uint64_t dst_match,
   // sender is charged one extra wire latency versus true local completion
   // at `send_done` — negligible against the bulk transfer itself.
   (void)send_done;
+  // seq is narrowed to fit the InlineFn capture budget; corr ids stay
+  // unique within any realistic scenario (< 2^32 messages).
   engine_.schedule_at(recv_done, [this, src, sreq, dst, dst_match, sbuf,
-                                  dst_node] {
+                                  dst_node,
+                                  seq32 = static_cast<std::uint32_t>(seq)] {
     machine_.remove_inflight(dst_node);
+    if (trace::active()) {
+      trace::instant(engine_.now(), dst, trace::Cat::Msg, "msg.complete",
+                     "src", static_cast<std::uint64_t>(src), nullptr, 0,
+                     seq32);
+    }
     complete_request(dst, dst_match, sbuf);
     RankState& rs = *ranks_[src];
     if (!rs.pool.live(sreq)) return;
@@ -503,6 +513,7 @@ void Ctx::handle_envelope(Envelope& env, double& cpu_cost) {
     if (cpu_driven) {
       // Bulk pushed by this CPU in chunks from subsequent progress passes.
       r.state = ReqState::BulkCpu;
+      r.xfer_seq = ++world_.next_msg_seq_;
       Req h{match_index(env.match_id), match_gen(env.match_id)};
       rs.cpu_bulk_sends.push_back(h);
     } else {
@@ -609,7 +620,7 @@ void Ctx::push_chunks(double& cpu_cost) {
       auto slot = world_.machine().reserve_mem(
           rs.node, now() + cpu_cost,
           static_cast<double>(chunk) * p.mem_byte_time * factor, "wire.chunk",
-          chunk);
+          chunk, r.xfer_seq);
       drain_end = slot.end;
       arrival = slot.end + p.intra.latency;
     } else {
@@ -618,14 +629,14 @@ void Ctx::push_chunks(double& cpu_cost) {
       auto tx = world_.machine().reserve_tx(
           rs.node, nic, now() + cpu_cost,
           static_cast<double>(chunk) * p.inter.byte_time + p.inter.msg_gap,
-          "wire.chunk", chunk);
+          "wire.chunk", chunk, r.xfer_seq);
       const double factor =
           world_.machine().congestion_factor(dst_node, /*intra=*/false);
       auto rx = world_.machine().reserve_rx(
           dst_node, rnic, tx.start + world_.machine().latency(rs.node, dst_node),
           (static_cast<double>(chunk) * p.inter.byte_time + p.inter.msg_gap) *
               factor,
-          "wire.chunk", chunk);
+          "wire.chunk", chunk, r.xfer_seq);
       drain_end = tx.end;
       arrival = rx.end;
     }
@@ -647,8 +658,14 @@ void Ctx::push_chunks(double& cpu_cost) {
     if (last) {
       const std::uint64_t dst_match = r.peer_match_id;
       const void* sbuf = r.send_buf;
+      const std::uint64_t xfer = r.xfer_seq;
       world_.engine().schedule_at(arrival, [w = &world_, self, h, dst,
-                                            dst_match, sbuf] {
+                                            dst_match, sbuf, xfer] {
+        if (trace::active()) {
+          trace::instant(w->engine_.now(), dst, trace::Cat::Msg,
+                         "msg.complete", "src",
+                         static_cast<std::uint64_t>(self), nullptr, 0, xfer);
+        }
         // Receiver gets the data...
         w->complete_request(dst, dst_match, sbuf);
         // ...and the sender completes (socket drained / copy done).

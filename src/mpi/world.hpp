@@ -75,6 +75,9 @@ struct Envelope {
   const void* send_buf = nullptr;   ///< sender buffer (rendezvous delivery)
   std::vector<std::byte> payload;   ///< copied eager payload
   std::uint64_t arrival_seq = 0;    ///< per-receiver arrival order
+  /// World-unique message id; the trace correlation linking this
+  /// message's post instant, wire span(s) and delivery instant.
+  std::uint64_t seq = 0;
 };
 
 /// Exact-match key for the posted-receive / unexpected-message tables.
@@ -178,6 +181,9 @@ class World {
   std::map<std::tuple<int, int, int>, int> context_registry_;
   int next_context_ = 1;
   std::vector<std::unique_ptr<Ctx>> ctxs_;
+  /// Message / bulk-transfer id source (trace correlation; deterministic:
+  /// ships happen in simulated-event order, which is seed-stable).
+  std::uint64_t next_msg_seq_ = 0;
 };
 
 /// Per-rank API surface.  A Ctx is only valid inside its own fiber.
@@ -239,6 +245,12 @@ class Ctx {
     return tag;
   }
 
+  /// Allocate a per-rank NBC operation id for trace parenting.  Ranks
+  /// start collectives in the same order (collective contract, same
+  /// argument as alloc_nbc_tag), so equal ids across rank tracks denote
+  /// the same logical operation instance — the analyzer's grouping key.
+  std::uint64_t alloc_op_corr() noexcept { return ++op_corr_counter_; }
+
   // ---- bootstrap collectives (blocking; control plane for the harness
   //      and the tuner's decision synchronization) ----
   void barrier(const Comm& comm);
@@ -284,6 +296,7 @@ class Ctx {
   int wrank_;
   int epoch_counter_ = 0;  // tag disambiguation for bootstrap collectives
   int nbc_tag_counter_ = 0;
+  std::uint64_t op_corr_counter_ = 0;
   std::map<int, int> split_epochs_;  // per-context dup/split call counts
 };
 

@@ -50,7 +50,7 @@ void Handle::trace_completion() {
   if (trace::active()) {
     trace::span(start_time_, ctx_.now() - start_time_, ctx_.world_rank(),
                 trace::Cat::Nbc, "nbc.op", "rounds", round_, "tag",
-                static_cast<std::uint64_t>(tag_));
+                static_cast<std::uint64_t>(tag_), op_corr_);
   }
 }
 
@@ -61,7 +61,7 @@ double Handle::post_round(std::size_t r) {
   if (trace::active()) {
     trace::instant(ctx_.now(), ctx_.world_rank(), trace::Cat::Nbc,
                    "nbc.round", "round", r, "actions",
-                   schedule_->round(r).size());
+                   schedule_->round(r).size(), op_corr_);
   }
   for (const Action& a : schedule_->round(r)) {
     switch (a.kind) {
@@ -101,11 +101,12 @@ void Handle::start() {
   if (active_) throw std::logic_error("start() while operation in flight");
   round_ = 0;
   start_time_ = ctx_.now();
+  op_corr_ = ctx_.alloc_op_corr();
   trace::count(trace::Ctr::NbcOpsStarted);
   if (trace::active()) {
     trace::instant(start_time_, ctx_.world_rank(), trace::Cat::Nbc,
                    "nbc.start", "rounds", schedule_->num_rounds(), "tag",
-                   static_cast<std::uint64_t>(tag_));
+                   static_cast<std::uint64_t>(tag_), op_corr_);
   }
   done_ = schedule_->num_rounds() == 0;
   active_ = !done_;

@@ -67,6 +67,7 @@ class Handle : public mpi::ProgressClient {
   int tag_;
   std::size_t round_ = 0;
   double start_time_ = 0.0;  // simulated start, for the op-lifetime span
+  std::uint64_t op_corr_ = 0;  // trace parent of this execution's events
   std::vector<mpi::Req> pending_;
   // Cached stable pointers to the pending requests: the per-pass
   // completion poll is the hottest loop in the simulator.

@@ -35,10 +35,10 @@ namespace {
 // sides (tx / mem) also account the payload bytes; receive sides do not,
 // so each transfer is counted once.
 void trace_slot(int node, const sim::Resource::Slot& slot, const char* what,
-                std::uint64_t bytes, bool injects) {
+                std::uint64_t bytes, bool injects, std::uint64_t corr) {
   if (!trace::active()) return;
   trace::span(slot.start, slot.end - slot.start, trace::wire_track(node),
-              trace::Cat::Wire, what, "bytes", bytes);
+              trace::Cat::Wire, what, "bytes", bytes, nullptr, 0, corr);
   if (injects) {
     trace::count(trace::Ctr::BytesOnWire, bytes);
     trace::record(trace::Hist::WireBytes, bytes);
@@ -48,25 +48,28 @@ void trace_slot(int node, const sim::Resource::Slot& slot, const char* what,
 
 sim::Resource::Slot Machine::reserve_tx(int node, int nic, double earliest,
                                         double seconds, const char* what,
-                                        std::uint64_t bytes) {
+                                        std::uint64_t bytes,
+                                        std::uint64_t corr) {
   const auto slot = nic_tx(node, nic).reserve(earliest, seconds);
-  trace_slot(node, slot, what, bytes, /*injects=*/true);
+  trace_slot(node, slot, what, bytes, /*injects=*/true, corr);
   return slot;
 }
 
 sim::Resource::Slot Machine::reserve_rx(int node, int nic, double earliest,
                                         double seconds, const char* what,
-                                        std::uint64_t bytes) {
+                                        std::uint64_t bytes,
+                                        std::uint64_t corr) {
   const auto slot = nic_rx(node, nic).reserve(earliest, seconds);
-  trace_slot(node, slot, what, bytes, /*injects=*/false);
+  trace_slot(node, slot, what, bytes, /*injects=*/false, corr);
   return slot;
 }
 
 sim::Resource::Slot Machine::reserve_mem(int node, double earliest,
                                          double seconds, const char* what,
-                                         std::uint64_t bytes) {
+                                         std::uint64_t bytes,
+                                         std::uint64_t corr) {
   const auto slot = mem(node).reserve(earliest, seconds);
-  trace_slot(node, slot, what, bytes, /*injects=*/true);
+  trace_slot(node, slot, what, bytes, /*injects=*/true, corr);
   return slot;
 }
 

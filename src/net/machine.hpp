@@ -29,15 +29,17 @@ class Machine {
 
   // Traced reservations: identical to reserve() on the raw resource, but
   // emit a wire-track span (and, for the injecting side, byte counters)
-  // when tracing is active.  `what` must be a string literal.
+  // when tracing is active.  `what` must be a string literal; `corr`
+  // parents the span under its message's causal chain (0 = unlinked).
   sim::Resource::Slot reserve_tx(int node, int nic, double earliest,
                                  double seconds, const char* what,
-                                 std::uint64_t bytes);
+                                 std::uint64_t bytes, std::uint64_t corr = 0);
   sim::Resource::Slot reserve_rx(int node, int nic, double earliest,
                                  double seconds, const char* what,
-                                 std::uint64_t bytes);
+                                 std::uint64_t bytes, std::uint64_t corr = 0);
   sim::Resource::Slot reserve_mem(int node, double earliest, double seconds,
-                                  const char* what, std::uint64_t bytes);
+                                  const char* what, std::uint64_t bytes,
+                                  std::uint64_t corr = 0);
 
   /// Which NIC a message from `node` to remote `peer_node` uses; stripes
   /// across HCAs by peer so multi-rail platforms (crill) spread load while

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <ostream>
 #include <set>
+#include <string_view>
 
 namespace nbctune::trace {
 
@@ -264,14 +265,21 @@ void Session::write_chrome(std::ostream& os) const {
       } else {
         os << ",\"ph\":\"i\",\"s\":\"t\"";
       }
-      if (e.akey != nullptr || e.bkey != nullptr) {
+      if (e.akey != nullptr || e.bkey != nullptr || e.corr != 0) {
         os << ",\"args\":{";
+        bool any = false;
         if (e.akey != nullptr) {
           os << "\"" << e.akey << "\":" << e.aval;
+          any = true;
         }
         if (e.bkey != nullptr) {
-          if (e.akey != nullptr) os << ",";
+          if (any) os << ",";
           os << "\"" << e.bkey << "\":" << e.bval;
+          any = true;
+        }
+        if (e.corr != 0) {
+          if (any) os << ",";
+          os << "\"corr\":" << e.corr;
         }
         os << "}";
       }
@@ -289,12 +297,28 @@ void Session::write_counters(std::ostream& os) const {
   std::uint64_t events = 0;
   for (const auto& t : im.traces) events += t.events.size();
   os << "trace_events " << events << "\n";
-  for (std::size_t c = 0; c < static_cast<std::size_t>(Ctr::kCount); ++c) {
+  // Lines are sorted by metric *name*, not enum declaration order, so
+  // committed goldens survive enum reorders and insertions (see
+  // docs/ARCHITECTURE.md for the format).
+  std::vector<std::size_t> ctr_order(static_cast<std::size_t>(Ctr::kCount));
+  for (std::size_t c = 0; c < ctr_order.size(); ++c) ctr_order[c] = c;
+  std::sort(ctr_order.begin(), ctr_order.end(), [](std::size_t a, std::size_t b) {
+    return std::string_view(ctr_name(static_cast<Ctr>(a))) <
+           std::string_view(ctr_name(static_cast<Ctr>(b)));
+  });
+  for (std::size_t c : ctr_order) {
     std::uint64_t total = 0;
     for (const auto& t : im.traces) total += t.counts[c];
     os << "counter " << ctr_name(static_cast<Ctr>(c)) << " " << total << "\n";
   }
-  for (std::size_t h = 0; h < static_cast<std::size_t>(Hist::kCount); ++h) {
+  std::vector<std::size_t> hist_order(static_cast<std::size_t>(Hist::kCount));
+  for (std::size_t h = 0; h < hist_order.size(); ++h) hist_order[h] = h;
+  std::sort(hist_order.begin(), hist_order.end(),
+            [](std::size_t a, std::size_t b) {
+              return std::string_view(hist_name(static_cast<Hist>(a))) <
+                     std::string_view(hist_name(static_cast<Hist>(b)));
+            });
+  for (std::size_t h : hist_order) {
     HistData agg;
     for (const auto& t : im.traces) {
       const HistData& d = t.hists[h];

@@ -103,6 +103,12 @@ struct Event {
   std::uint64_t aval = 0;
   const char* bkey = nullptr;  ///< optional second argument
   std::uint64_t bval = 0;
+  /// Correlation id parenting events into causal chains (0 = none).
+  /// Message lifecycles share one id across post instant, wire span(s) and
+  /// delivery/completion instant; NBC events share the per-rank operation
+  /// id; ADCL events carry the learning iteration.  Exported to Chrome
+  /// JSON as args.corr — the graph edge the analyzer reconstructs.
+  std::uint64_t corr = 0;
 };
 
 /// Track id of node `n`'s wire (NIC / memory-port) serialization lane.
@@ -170,18 +176,19 @@ inline void emit(const Event& e) {
 }
 inline void instant(double ts, std::int32_t track, Cat cat, const char* name,
                     const char* akey = nullptr, std::uint64_t aval = 0,
-                    const char* bkey = nullptr, std::uint64_t bval = 0) {
+                    const char* bkey = nullptr, std::uint64_t bval = 0,
+                    std::uint64_t corr = 0) {
   if (Tracer* t = current()) {
-    t->emit(Event{ts, -1.0, track, cat, name, akey, aval, bkey, bval});
+    t->emit(Event{ts, -1.0, track, cat, name, akey, aval, bkey, bval, corr});
   }
 }
 inline void span(double ts, double dur, std::int32_t track, Cat cat,
                  const char* name, const char* akey = nullptr,
                  std::uint64_t aval = 0, const char* bkey = nullptr,
-                 std::uint64_t bval = 0) {
+                 std::uint64_t bval = 0, std::uint64_t corr = 0) {
   if (Tracer* t = current()) {
     t->emit(Event{ts, dur < 0.0 ? 0.0 : dur, track, cat, name, akey, aval,
-                  bkey, bval});
+                  bkey, bval, corr});
   }
 }
 [[nodiscard]] inline bool active() noexcept { return current() != nullptr; }

@@ -1,0 +1,494 @@
+// Post-hoc analysis layer (src/analyze): a hand-computed golden on the
+// 2-rank ibcast trace, the blame-sums-to-elapsed property, the Chrome
+// trace round-trip, the ADCL decision audit, the guideline checks on
+// synthetic scenarios, and byte-identical report JSON at any pool
+// thread count.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adcl/functionsets.hpp"
+#include "adcl/selection.hpp"
+#include "analyze/analyze.hpp"
+#include "analyze/chrome_reader.hpp"
+#include "coll/ibcast.hpp"
+#include "harness/scenario_pool.hpp"
+#include "mpi/world.hpp"
+#include "nbc/handle.hpp"
+#include "net/platform.hpp"
+#include "testing_util.hpp"
+#include "trace/trace.hpp"
+
+using namespace nbctune;
+namespace t = nbctune::testing;
+
+namespace {
+
+/// Run an np-rank binomial ibcast `ops` times under the current tracer.
+void run_ibcast(int nprocs, std::size_t bytes, int ops = 1,
+                std::uint64_t seed = 1) {
+  std::vector<std::byte> buf(bytes);
+  t::run_world(net::whale(), nprocs, [&](mpi::Ctx& ctx) {
+    nbc::Schedule s = coll::build_ibcast(ctx.world_rank(), nprocs,
+                                        buf.data(), bytes, /*root=*/0,
+                                        coll::kFanoutBinomial,
+                                        /*seg_bytes=*/0);
+    nbc::Handle h(ctx, ctx.world().comm_world(), &s, 1 << 20);
+    for (int i = 0; i < ops; ++i) {
+      h.start();
+      h.wait();
+    }
+  }, /*noise_scale=*/0.0, seed);
+}
+
+/// One traced scenario, drained out of the session and converted.
+analyze::ScenarioTrace traced(const std::string& label,
+                              const std::function<void()>& body) {
+  trace::Session::enable();
+  (void)trace::Session::instance().drain();
+  {
+    trace::Scope scope(label);
+    body();
+  }
+  auto traces = trace::Session::instance().drain();
+  EXPECT_EQ(traces.size(), 1u);
+  return analyze::from_finished(traces.at(0));
+}
+
+/// Expected aggregate blame: per op instance, the duration of the
+/// last-finishing nbc.op span — recomputed here independently of the
+/// analyzer's grouping code.
+double expected_blame_total(const analyze::ScenarioTrace& t) {
+  std::map<std::uint64_t, std::pair<double, double>> by_corr;  // end, dur
+  for (const analyze::AEvent& e : t.events) {
+    if (e.name != "nbc.op" || !e.is_span()) continue;
+    auto [it, fresh] = by_corr.try_emplace(e.corr, e.end(), e.dur);
+    if (!fresh && e.end() > it->second.first) {
+      it->second = {e.end(), e.dur};
+    }
+  }
+  double sum = 0.0;
+  for (const auto& [corr, v] : by_corr) sum += v.second;
+  return sum;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- label parsing
+
+TEST(AnalyzeLabel, ParsesMicrobenchConvention) {
+  const analyze::LabelKey k =
+      analyze::parse_label("ibcast whale np32 4096B adcl:brute-force");
+  ASSERT_TRUE(k.valid);
+  EXPECT_EQ(k.op, "ibcast");
+  EXPECT_EQ(k.platform, "whale");
+  EXPECT_EQ(k.nprocs, 32);
+  EXPECT_EQ(k.bytes, 4096u);
+  EXPECT_EQ(k.what, "adcl:brute-force");
+  EXPECT_EQ(k.group(), "ibcast whale np32 4096B");
+  EXPECT_EQ(k.size_group(), "ibcast whale np32 adcl:brute-force");
+}
+
+TEST(AnalyzeLabel, RejectsOtherShapes) {
+  EXPECT_FALSE(analyze::parse_label("").valid);
+  EXPECT_FALSE(analyze::parse_label("golden ibcast").valid);
+  // FFT labels have six tokens and an n<grid> field instead of bytes.
+  EXPECT_FALSE(
+      analyze::parse_label("fft3d whale np8 n64 pipelined libnbc").valid);
+  EXPECT_FALSE(analyze::parse_label("ibcast whale npX 4096B f").valid);
+  EXPECT_FALSE(analyze::parse_label("ibcast whale np2 4096 f").valid);
+}
+
+// ------------------------------------------------- golden 2-rank ibcast
+
+TEST(AnalyzeGolden, TwoRankIbcastCriticalPath) {
+  const analyze::ScenarioTrace tr =
+      traced("golden", [] { run_ibcast(2, 4096); });
+  const analyze::Report r = analyze::analyze({tr});
+  ASSERT_EQ(r.scenarios.size(), 1u);
+  const analyze::ScenarioReport& s = r.scenarios[0];
+
+  // One op on each rank, all completing (G1 material).
+  EXPECT_EQ(s.ops_started, 2u);
+  EXPECT_EQ(s.ops_completed, 2u);
+  EXPECT_TRUE(s.zero_compute);
+
+  // Both ranks allocate op correlation id 1 for their first operation,
+  // so the analyzer sees exactly one op instance...
+  ASSERT_TRUE(s.has_critical);
+  EXPECT_EQ(s.worst.corr, 1u);
+  // ...whose critical rank is the receiver: rank 1 cannot finish before
+  // the 4 KB eager payload serialized over the wire and arrived.
+  EXPECT_EQ(s.worst.critical_rank, 1);
+  EXPECT_GT(s.worst.elapsed, 0.0);
+
+  // The blame partition is exact: components sum to the elapsed time.
+  EXPECT_NEAR(s.worst.blame.total(), s.worst.elapsed,
+              1e-9 * std::max(1.0, s.worst.elapsed));
+  // No compute anywhere in this program.
+  EXPECT_EQ(s.worst.blame.compute, 0.0);
+  // The receiver's window must contain the wire serialization of the
+  // payload it waited for.
+  EXPECT_GT(s.worst.blame.wire, 0.0);
+
+  // The critical path walks back to the sender through the eager
+  // message: exactly one inbound transfer on rank 1.
+  ASSERT_GE(s.worst.hops.size(), 1u);
+  EXPECT_EQ(s.worst.hops[0].rank, 1);
+  EXPECT_EQ(s.worst.hops[0].from_rank, 0);
+  EXPECT_GE(s.worst.hops[0].arrival_ts, s.worst.start);
+  EXPECT_LE(s.worst.hops[0].post_ts, s.worst.hops[0].arrival_ts);
+
+  // Overlap accounting: both ranks ran exactly one handle; with no
+  // compute the overlap ratio is 0 by definition.
+  ASSERT_EQ(s.ranks.size(), 2u);
+  EXPECT_EQ(s.ranks[0].rank, 0);
+  EXPECT_EQ(s.ranks[0].ops, 1u);
+  EXPECT_EQ(s.ranks[1].ops, 1u);
+  EXPECT_EQ(s.ranks[0].overlap_ratio, 0.0);
+  EXPECT_EQ(s.ranks[0].compute_in_op, 0.0);
+  // The receiver's slack is bounded by its op elapsed.
+  EXPECT_LE(s.ranks[1].slack, s.ranks[1].op_time + 1e-12);
+
+  // G1 evaluated and passing; the label is not microbench-shaped, so the
+  // comparative guidelines stay n/a.
+  ASSERT_EQ(r.guidelines.size(), 4u);
+  EXPECT_EQ(r.guidelines[0].id, "G1");
+  EXPECT_EQ(r.guidelines[0].checked, 1);
+  EXPECT_EQ(r.guidelines[0].passed, 1);
+  EXPECT_STREQ(r.guidelines[0].status(), "pass");
+}
+
+// ------------------------------------------------------ blame property
+
+TEST(AnalyzeProperty, BlameComponentsSumToOpElapsed) {
+  // Several shapes: eager and rendezvous payloads, growing rank counts,
+  // repeated ops per handle.  For every scenario the aggregated blame
+  // must equal the sum over op instances of the critical rank's elapsed
+  // time, and the worst instance must partition exactly.
+  struct Case {
+    int nprocs;
+    std::size_t bytes;
+    int ops;
+  };
+  const Case cases[] = {
+      {2, 64, 3}, {4, 4096, 2}, {8, 65536, 1}, {4, 1 << 20, 2}};
+  for (const Case& c : cases) {
+    const analyze::ScenarioTrace tr =
+        traced("prop", [&] { run_ibcast(c.nprocs, c.bytes, c.ops); });
+    const analyze::Report r = analyze::analyze({tr});
+    ASSERT_EQ(r.scenarios.size(), 1u);
+    const analyze::ScenarioReport& s = r.scenarios[0];
+    SCOPED_TRACE("np" + std::to_string(c.nprocs) + " " +
+                 std::to_string(c.bytes) + "B x" + std::to_string(c.ops));
+    EXPECT_EQ(s.ops_started, s.ops_completed);
+    const double expected = expected_blame_total(tr);
+    EXPECT_GT(expected, 0.0);
+    EXPECT_NEAR(s.blame.total(), expected, 1e-9 * std::max(1.0, expected));
+    ASSERT_TRUE(s.has_critical);
+    EXPECT_NEAR(s.worst.blame.total(), s.worst.elapsed,
+                1e-9 * std::max(1.0, s.worst.elapsed));
+  }
+}
+
+// -------------------------------------------------- chrome round-trip
+
+TEST(AnalyzeChrome, RoundTripMatchesInProcessAnalysis) {
+  trace::Session::enable();
+  (void)trace::Session::instance().drain();
+  {
+    trace::Scope a("rt one");
+    run_ibcast(2, 4096);
+  }
+  {
+    trace::Scope b("rt two");
+    run_ibcast(4, 65536, 2, /*seed=*/7);
+  }
+  std::ostringstream chrome;
+  trace::Session::instance().write_chrome(chrome);
+  std::vector<analyze::ScenarioTrace> direct;
+  for (const auto& f : trace::Session::instance().drain()) {
+    direct.push_back(analyze::from_finished(f));
+  }
+
+  std::istringstream is(chrome.str());
+  const std::vector<analyze::ScenarioTrace> parsed =
+      analyze::read_chrome(is);
+  ASSERT_EQ(parsed.size(), direct.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].label, direct[i].label);
+    EXPECT_EQ(parsed[i].events.size(), direct[i].events.size());
+  }
+
+  // The analyses agree: same structure, op times within the 1 ns export
+  // quantization of the Chrome format.
+  const analyze::Report ra = analyze::analyze(direct);
+  const analyze::Report rb = analyze::analyze(parsed);
+  ASSERT_EQ(ra.scenarios.size(), rb.scenarios.size());
+  for (std::size_t i = 0; i < ra.scenarios.size(); ++i) {
+    const auto& a = ra.scenarios[i];
+    const auto& b = rb.scenarios[i];
+    EXPECT_EQ(a.ops_completed, b.ops_completed);
+    EXPECT_NEAR(a.mean_op_elapsed, b.mean_op_elapsed, 2e-9);
+    EXPECT_EQ(a.worst.critical_rank, b.worst.critical_rank);
+    EXPECT_EQ(a.worst.hops.size(), b.worst.hops.size());
+    EXPECT_NEAR(a.blame.total(), b.blame.total(),
+                2e-9 * std::max(1.0, a.ops_completed * 1.0));
+  }
+}
+
+TEST(AnalyzeChrome, CountersReaderParsesDump) {
+  trace::Session::enable();
+  (void)trace::Session::instance().drain();
+  {
+    trace::Scope scope("ctr");
+    run_ibcast(2, 4096);
+  }
+  std::ostringstream os;
+  trace::Session::instance().write_counters(os);
+  (void)trace::Session::instance().drain();
+  std::istringstream is(os.str());
+  const auto counters = analyze::read_counters(is);
+  EXPECT_EQ(counters.at("scenarios"), 1u);
+  EXPECT_EQ(counters.at("msg.eager"), 1u);
+  EXPECT_EQ(counters.at("nbc.ops_started"), 2u);
+  EXPECT_EQ(counters.at("wire.bytes_per_transfer.count"), 1u);
+  EXPECT_EQ(counters.at("wire.bytes_per_transfer.sum"), 4096u);
+}
+
+// ----------------------------------------------------------- adcl audit
+
+TEST(AnalyzeAdcl, AuditReplaysScoresAndDecision) {
+  const analyze::ScenarioTrace tr = traced("ibcast whale np2 64B adcl:x", [] {
+    // Synthesized learning phase: three functions scored, func 1 wins.
+    trace::instant(1.0, 0, trace::Cat::Adcl, "adcl.score", "func", 0,
+                   "score_ns", 3000, 8);
+    trace::instant(2.0, 0, trace::Cat::Adcl, "adcl.score", "func", 1,
+                   "score_ns", 1000, 16);
+    trace::instant(3.0, 0, trace::Cat::Adcl, "adcl.score", "func", 2,
+                   "score_ns", 2000, 24);
+    trace::instant(3.0, 0, trace::Cat::Adcl, "adcl.decision", "winner", 1,
+                   "iter", 24, 24);
+    trace::count(trace::Ctr::AdclSamplesSeen, 24);
+    trace::count(trace::Ctr::AdclSamplesFiltered, 3);
+  });
+  const analyze::Report r = analyze::analyze({tr});
+  ASSERT_EQ(r.scenarios.size(), 1u);
+  const analyze::AdclAudit& a = r.scenarios[0].adcl;
+  ASSERT_TRUE(a.present);
+  EXPECT_EQ(a.winner, 1);
+  EXPECT_EQ(a.decision_iteration, 24);
+  EXPECT_DOUBLE_EQ(a.decision_ts, 3.0);
+  ASSERT_EQ(a.scores.size(), 3u);
+  EXPECT_EQ(a.scores[1].func, 1);
+  EXPECT_EQ(a.scores[1].iteration, 16);
+  EXPECT_NEAR(a.winner_score, 1000e-9, 1e-15);
+  EXPECT_NEAR(a.runner_up_score, 2000e-9, 1e-15);
+  // Margin: runner-up is 2x the winner.
+  EXPECT_NEAR(a.margin, 1.0, 1e-9);
+  EXPECT_EQ(a.samples_seen, 24u);
+  EXPECT_EQ(a.samples_filtered, 3u);
+}
+
+TEST(AnalyzeAdcl, LiveSelectionEmitsAuditableScores) {
+  // A real (not synthesized) tuned run must produce a full audit: as
+  // many score events as scored batches and a decision consistent with
+  // SelectionState's own bookkeeping.
+  auto fset = adcl::make_ibcast_functionset();
+  adcl::TuningOptions opts;
+  opts.tests_per_function = 2;
+  const analyze::ScenarioTrace tr = traced("live adcl", [&] {
+    t::run_world(net::whale(), 2, [&](mpi::Ctx& ctx) {
+      adcl::SelectionState sel(fset, opts);
+      int guard = 0;
+      while (!sel.decided() && ++guard < 10000) {
+        sel.record(ctx, ctx.world().comm_world(),
+                   1e-6 * (1 + sel.current()));
+      }
+      EXPECT_TRUE(sel.decided());
+      EXPECT_EQ(static_cast<int>(sel.measurements().size()),
+                sel.iterations() / opts.tests_per_function);
+    });
+  });
+  const analyze::Report r = analyze::analyze({tr});
+  const analyze::AdclAudit& a = r.scenarios.at(0).adcl;
+  ASSERT_TRUE(a.present);
+  // Functions score proportionally to their index, so func 0 wins.
+  EXPECT_EQ(a.winner, 0);
+  EXPECT_GT(a.scores.size(), 0u);
+  EXPECT_GT(a.margin, 0.0);
+}
+
+// ----------------------------------------------------------- guidelines
+
+namespace {
+
+/// Synthetic scenario: `ops` op instances of `dur` seconds on track 0,
+/// plus optional adcl decision metadata.
+analyze::ScenarioTrace synth(const std::string& label, int ops, double dur,
+                             bool with_compute = false,
+                             double decision_ts = -1.0) {
+  analyze::ScenarioTrace t;
+  t.label = label;
+  double at = 0.0;
+  for (int i = 0; i < ops; ++i) {
+    analyze::AEvent start;
+    start.ts = at;
+    start.track = 0;
+    start.cat = "nbc";
+    start.name = "nbc.start";
+    start.corr = static_cast<std::uint64_t>(i + 1);
+    t.events.push_back(start);
+    if (with_compute) {
+      analyze::AEvent c;
+      c.ts = at;
+      c.dur = dur / 2;
+      c.track = 0;
+      c.cat = "progress";
+      c.name = "compute";
+      t.events.push_back(c);
+    }
+    analyze::AEvent op;
+    op.ts = at;
+    op.dur = dur;
+    op.track = 0;
+    op.cat = "nbc";
+    op.name = "nbc.op";
+    op.corr = static_cast<std::uint64_t>(i + 1);
+    t.events.push_back(op);
+    at += dur * 2;
+  }
+  if (decision_ts >= 0.0) {
+    analyze::AEvent d;
+    d.ts = decision_ts;
+    d.track = 0;
+    d.cat = "adcl";
+    d.name = "adcl.decision";
+    d.akey = "winner";
+    d.aval = 0;
+    d.bkey = "iter";
+    d.bval = 4;
+    t.events.push_back(d);
+  }
+  return t;
+}
+
+const analyze::GuidelineResult& find_g(const analyze::Report& r,
+                                       const std::string& id) {
+  for (const auto& g : r.guidelines) {
+    if (g.id == id) return g;
+  }
+  ADD_FAILURE() << "guideline " << id << " missing";
+  static analyze::GuidelineResult none;
+  return none;
+}
+
+}  // namespace
+
+TEST(AnalyzeGuidelines, TunedWinnerBeatsOrMatchesFixed) {
+  const std::string grp = "ibcast whale np4 1024B ";
+  const analyze::Report ok = analyze::analyze({
+      synth(grp + "fixed:fast", 4, 100e-6),
+      synth(grp + "fixed:slow", 4, 200e-6),
+      synth(grp + "adcl:brute-force", 4, 100e-6, false, /*decision=*/0.0),
+  });
+  EXPECT_EQ(find_g(ok, "G2").checked, 1);
+  EXPECT_EQ(find_g(ok, "G2").passed, 1);
+
+  const analyze::Report bad = analyze::analyze({
+      synth(grp + "fixed:fast", 4, 100e-6),
+      synth(grp + "adcl:brute-force", 4, 200e-6, false, /*decision=*/0.0),
+  });
+  EXPECT_EQ(find_g(bad, "G2").checked, 1);
+  EXPECT_EQ(find_g(bad, "G2").passed, 0);
+  ASSERT_EQ(find_g(bad, "G2").violations.size(), 1u);
+  EXPECT_STREQ(find_g(bad, "G2").status(), "FAIL");
+}
+
+TEST(AnalyzeGuidelines, NonBlockingVsBlockingAtZeroCompute) {
+  const std::string grp = "ialltoall whale np8 4096B ";
+  const analyze::Report ok = analyze::analyze({
+      synth(grp + "fixed:linear", 2, 100e-6),
+      synth(grp + "fixed:blocking-linear", 2, 110e-6),
+  });
+  EXPECT_EQ(find_g(ok, "G3").checked, 1);
+  EXPECT_EQ(find_g(ok, "G3").passed, 1);
+
+  // A non-blocking run 2x slower than its blocking twin violates G3...
+  const analyze::Report bad = analyze::analyze({
+      synth(grp + "fixed:linear", 2, 220e-6),
+      synth(grp + "fixed:blocking-linear", 2, 110e-6),
+  });
+  EXPECT_EQ(find_g(bad, "G3").passed, 0);
+
+  // ...but only at zero compute: with compute in the loop the check
+  // does not apply.
+  const analyze::Report na = analyze::analyze({
+      synth(grp + "fixed:linear", 2, 220e-6, /*with_compute=*/true),
+      synth(grp + "fixed:blocking-linear", 2, 110e-6, /*with_compute=*/true),
+  });
+  EXPECT_EQ(find_g(na, "G3").checked, 0);
+  EXPECT_STREQ(find_g(na, "G3").status(), "n/a");
+}
+
+TEST(AnalyzeGuidelines, MonotoneInMessageSize) {
+  const analyze::Report ok = analyze::analyze({
+      synth("ibcast whale np4 1024B fixed:a", 2, 100e-6),
+      synth("ibcast whale np4 4096B fixed:a", 2, 150e-6),
+      synth("ibcast whale np4 16384B fixed:a", 2, 400e-6),
+  });
+  EXPECT_EQ(find_g(ok, "G4").checked, 2);
+  EXPECT_EQ(find_g(ok, "G4").passed, 2);
+
+  const analyze::Report bad = analyze::analyze({
+      synth("ibcast whale np4 1024B fixed:a", 2, 100e-6),
+      synth("ibcast whale np4 4096B fixed:a", 2, 50e-6),
+  });
+  EXPECT_EQ(find_g(bad, "G4").checked, 1);
+  EXPECT_EQ(find_g(bad, "G4").passed, 0);
+}
+
+// ------------------------------------------------- report determinism
+
+TEST(AnalyzeReport, JsonIsByteIdenticalAcrossThreadCounts) {
+  trace::Session::enable();
+  auto sweep = [&](int threads) {
+    (void)trace::Session::instance().drain();
+    harness::ScenarioPool pool(threads);
+    pool.run_indexed(6, [&](std::size_t i) {
+      trace::Scope scope("task " + std::to_string(i));
+      run_ibcast(2 + static_cast<int>(i % 3), 512 << i, 1,
+                 /*seed=*/i + 1);
+    });
+    std::vector<analyze::ScenarioTrace> traces;
+    for (const auto& f : trace::Session::instance().drain()) {
+      traces.push_back(analyze::from_finished(f));
+    }
+    std::ostringstream os;
+    analyze::write_json(os, analyze::analyze(traces));
+    return os.str();
+  };
+  const std::string j1 = sweep(1);
+  const std::string j4 = sweep(4);
+  EXPECT_EQ(j1, j4);
+  EXPECT_NE(j1.find("\"schema\":\"nbctune-report-v1\""), std::string::npos);
+  EXPECT_NE(j1.find("\"guidelines\":["), std::string::npos);
+}
+
+TEST(AnalyzeReport, TableWriterMentionsEverySection) {
+  const analyze::ScenarioTrace tr =
+      traced("table", [] { run_ibcast(2, 4096); });
+  std::ostringstream os;
+  analyze::write_table(os, analyze::analyze({tr}));
+  const std::string s = os.str();
+  EXPECT_NE(s.find("blame:"), std::string::npos);
+  EXPECT_NE(s.find("worst op:"), std::string::npos);
+  EXPECT_NE(s.find("guidelines"), std::string::npos);
+  EXPECT_NE(s.find("[pass] G1"), std::string::npos);
+}

@@ -1,0 +1,122 @@
+// nbctune-analyze: offline trace analysis.
+//
+//   nbctune-analyze [options] trace.json [trace2.json ...]
+//
+//   --counters FILE     fold a flat counter dump into the report
+//   --report=table      human-readable output (default)
+//   --report=json       machine-readable output (integers only; see
+//                       docs/ARCHITECTURE.md for the schema)
+//   --out FILE          write the report there instead of stdout
+//   --epsilon X         guideline tolerance (default 0.25)
+//
+// Reads the Chrome trace-event JSON exported by any bench driver's
+// --trace flag, reconstructs the per-scenario event streams, and runs
+// the full analysis pass: critical paths with blame breakdowns, overlap
+// and slack accounting, the ADCL decision audit and the performance
+// guidelines (G1-G4).  Multiple trace files are concatenated into one
+// scenario list, so a combined report over several drivers is a single
+// invocation.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "analyze/chrome_reader.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--counters FILE] [--report=json|table] [--out FILE]"
+               " [--epsilon X] trace.json...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nbctune;
+  std::vector<std::string> inputs;
+  std::string counters_path;
+  std::string out_path;
+  bool json = false;
+  analyze::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--counters") == 0 && i + 1 < argc) {
+      counters_path = argv[++i];
+    } else if (std::strcmp(a, "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(a, "--epsilon") == 0 && i + 1 < argc) {
+      opts.epsilon = std::atof(argv[++i]);
+    } else if (std::strcmp(a, "--report=json") == 0) {
+      json = true;
+    } else if (std::strcmp(a, "--report=table") == 0 ||
+               std::strcmp(a, "--report") == 0) {
+      json = false;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      return usage(argv[0]);
+    } else if (a[0] == '-') {
+      std::cerr << "unknown option: " << a << "\n";
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(a);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  std::vector<analyze::ScenarioTrace> traces;
+  for (const std::string& path : inputs) {
+    std::ifstream is(path);
+    if (!is) {
+      std::cerr << "cannot open trace file: " << path << "\n";
+      return 1;
+    }
+    try {
+      std::vector<analyze::ScenarioTrace> batch = analyze::read_chrome(is);
+      for (auto& t : batch) traces.push_back(std::move(t));
+    } catch (const std::exception& e) {
+      std::cerr << path << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  analyze::Report report = analyze::analyze(traces, opts);
+  if (!counters_path.empty()) {
+    std::ifstream is(counters_path);
+    if (!is) {
+      std::cerr << "cannot open counters file: " << counters_path << "\n";
+      return 1;
+    }
+    report.session_counters = analyze::read_counters(is);
+  }
+
+  std::ostringstream body;
+  if (json) {
+    analyze::write_json(body, report);
+  } else {
+    analyze::write_table(body, report);
+  }
+  if (out_path.empty()) {
+    std::cout << body.str();
+  } else {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::cerr << "cannot write report: " << out_path << "\n";
+      return 1;
+    }
+    os << body.str();
+    std::cerr << "report: " << traces.size() << " scenario(s) -> " << out_path
+              << "\n";
+  }
+
+  // Exit non-zero when a guideline fails, so CI can gate on it.
+  for (const auto& g : report.guidelines) {
+    if (g.checked > 0 && g.passed != g.checked) return 3;
+  }
+  return 0;
+}
