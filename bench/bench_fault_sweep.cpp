@@ -1,0 +1,123 @@
+// Fault sweep: the fig3 Ialltoall scenario under every canned fault plan
+// (fault/fault.hpp) on whale over InfiniBand and over Gigabit Ethernet,
+// plus two focused demos: ADCL drift re-tuning under a degrading link and
+// the attribute-heuristic pruning audit.
+//
+// The sweep answers the robustness question the fault layer exists for:
+// does the tuner still land on a sensible implementation — and does every
+// started operation still complete (guideline G1) — when the transport
+// has to retransmit around drops, fall back on timeouts, and re-tune
+// around drift?  Run with --report / --trace-counters to get the
+// analyzer's fault attribution; CI diffs both against committed goldens.
+
+#include "bench_util.hpp"
+#include "fault/fault.hpp"
+#include "net/platform.hpp"
+
+using namespace nbctune;
+using namespace nbctune::harness;
+
+int main(int argc, char** argv) {
+  bench::Driver drv("fault_sweep", argc, argv);
+  const auto plans = fault::canned_plans();
+
+  for (const auto& platform : {net::whale(), net::whale_tcp()}) {
+    MicroScenario base;
+    base.platform = platform;
+    base.nprocs = 32;
+    base.op = OpKind::Ialltoall;
+    base.bytes = 128 * 1024;
+    base.compute_per_iter = 10e-3;
+    base.progress_calls = 5;
+    base.iterations = drv.full() ? 24 : 10;
+    base.noise_scale = 0.0;  // faults are the only perturbation
+    base.seed = 42;
+
+    harness::banner("Fault sweep: tuned Ialltoall under canned plans on " +
+                    platform.name);
+    std::cout << "platform=" << platform.name << " nprocs=" << base.nprocs
+              << " bytes=" << base.bytes
+              << " compute/iter=" << base.compute_per_iter
+              << "s iterations=" << base.iterations << "\n\n";
+
+    adcl::TuningOptions opts;
+    opts.policy = adcl::PolicyKind::BruteForce;
+    opts.tests_per_function = 2;
+
+    std::vector<RunOutcome> runs(plans.size());
+    drv.pool().run_indexed(plans.size(), [&](std::size_t i) {
+      MicroScenario s = base;
+      s.fault_plan = plans[i].spec;
+      s.fault_plan_name = plans[i].name;
+      runs[i] = run_adcl(s, opts);
+    });
+
+    harness::Table t({"plan", "winner", "loop_time[s]", "decision_iter"});
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      t.add_row({plans[i].name, runs[i].impl,
+                 harness::Table::num(runs[i].loop_time),
+                 std::to_string(runs[i].decision_iteration)});
+    }
+    t.print();
+  }
+
+  // Drift demo: short iterations decide before the canned degrade window
+  // opens at t=0.05s; the 8x latency/bandwidth degradation afterwards
+  // pushes post-decision samples past the drift tolerance and tuning
+  // re-opens (adcl.retunes counter goes nonzero).
+  {
+    harness::banner(
+        "Drift re-tune: Ialltoall on a link degrading after the decision");
+    MicroScenario s;
+    s.platform = net::whale();
+    // Two nodes: the degradation hits the wire, so np must span nodes
+    // (np8 on whale's 8-core nodes would stay intra-node and never drift).
+    s.nprocs = 16;
+    s.op = OpKind::Ialltoall;
+    s.bytes = 64 * 1024;
+    s.compute_per_iter = 2e-3;
+    s.progress_calls = 3;
+    s.iterations = 40;
+    s.noise_scale = 0.0;
+    s.seed = 42;
+    const fault::CannedPlan* degrade = nullptr;
+    for (const auto& p : plans) {
+      if (p.name == "degrade") degrade = &p;
+    }
+    s.fault_plan = degrade->spec;
+    s.fault_plan_name = degrade->name;
+    adcl::TuningOptions opts;
+    opts.policy = adcl::PolicyKind::BruteForce;
+    opts.tests_per_function = 2;
+    const RunOutcome r = run_adcl(s, opts);
+    std::cout << "winner=" << r.impl << " loop_time="
+              << harness::Table::num(r.loop_time)
+              << "s final_decision_iter=" << r.decision_iteration << "\n";
+  }
+
+  // Pruning audit demo: the attribute-heuristic policy on the 21-function
+  // ibcast set records which attribute sweep eliminated which functions
+  // (adcl.eliminations counter + report "eliminations" array).
+  {
+    harness::banner(
+        "Attribute-heuristic pruning audit: Ibcast, fault-free");
+    MicroScenario s;
+    s.platform = net::whale();
+    s.nprocs = 8;
+    s.op = OpKind::Ibcast;
+    s.bytes = 64 * 1024;
+    s.compute_per_iter = 2e-3;
+    s.progress_calls = 3;
+    s.iterations = 40;
+    s.noise_scale = 0.0;
+    s.seed = 42;
+    adcl::TuningOptions opts;
+    opts.policy = adcl::PolicyKind::AttributeHeuristic;
+    opts.tests_per_function = 2;
+    const RunOutcome r = run_adcl(s, opts);
+    std::cout << "winner=" << r.impl << " loop_time="
+              << harness::Table::num(r.loop_time)
+              << "s decision_iter=" << r.decision_iteration << "\n";
+  }
+  return 0;
+}

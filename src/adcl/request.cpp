@@ -62,6 +62,13 @@ void Request::init() {
     handle_->rebind(&sched);
     bound_function_ = func;
   }
+  if (opts_.op_timeout > 0.0) {
+    // Under lossy fault plans: cancel-on-timeout with function 0 as the
+    // designated fallback implementation.  Re-armed every init since a
+    // rebind may have swapped the schedule out from under the handle.
+    handle_->set_recovery(
+        {opts_.op_timeout, &schedule_for(0), opts_.max_attempts});
+  }
   active_ = true;
   init_time_ = ctx_.now();
   handle_->start();

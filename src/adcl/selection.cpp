@@ -24,6 +24,11 @@ const char* policy_name(PolicyKind k) noexcept {
   return "?";
 }
 
+const std::vector<Policy::Elimination>& Policy::eliminations() const {
+  static const std::vector<Elimination> empty;
+  return empty;
+}
+
 namespace {
 
 int argmin(const std::map<int, double>& scores,
@@ -115,6 +120,11 @@ class AttributeHeuristicPolicy final : public Policy {
 
   [[nodiscard]] int winner() const override { return winner_; }
 
+  [[nodiscard]] const std::vector<Elimination>& eliminations()
+      const override {
+    return eliminations_;
+  }
+
  private:
   // Functions matching `base_` except value v at attribute `a`.
   int variant(std::size_t a, int v) const {
@@ -152,9 +162,18 @@ class AttributeHeuristicPolicy final : public Policy {
       if (best >= 0) {
         base_ = fset_.function(best).attrs;
         const int v = base_[attr_];
+        Elimination elim;
+        elim.attr = static_cast<int>(attr_);
+        elim.value = v;
+        elim.kept = best;
         std::erase_if(candidates_, [&](int c) {
-          return fset_.function(c).attrs[attr_] != v;
+          if (fset_.function(c).attrs[attr_] != v) {
+            elim.pruned.push_back(c);
+            return true;
+          }
+          return false;
         });
+        if (!elim.pruned.empty()) eliminations_.push_back(std::move(elim));
       }
       if (attr_ + 1 >= fset_.attributes().size()) {
         winner_ = argmin(scores_, candidates_);
@@ -174,6 +193,7 @@ class AttributeHeuristicPolicy final : public Policy {
   std::size_t phase_pos_ = 0;
   std::map<int, double> scores_;
   int winner_ = -1;
+  std::vector<Elimination> eliminations_;
 };
 
 // --------------------------------------------------------- TwoKFactorial
@@ -378,7 +398,10 @@ void SelectionState::force_winner(int func) {
 void SelectionState::record(mpi::Ctx& ctx, const mpi::Comm& comm,
                             double sample) {
   ++iterations_;
-  if (decided_) return;
+  if (decided_) {
+    maybe_drift(ctx, comm, sample);
+    return;
+  }
   batch_.push_back(sample);
   if (static_cast<int>(batch_.size()) < opts_.tests_per_function) return;
   // Batch complete: agree on this function's score across the ranks (the
@@ -398,11 +421,81 @@ void SelectionState::record(mpi::Ctx& ctx, const mpi::Comm& comm,
                    static_cast<std::uint64_t>(std::llround(agreed * 1e9)),
                    static_cast<std::uint64_t>(iterations_));
   }
+  const std::size_t elims_before = policy_->eliminations().size();
   const int nxt = policy_->next(current_, agreed);
+  const auto& elims = policy_->eliminations();
+  for (std::size_t i = elims_before; i < elims.size(); ++i) {
+    Policy::Elimination e = elims[i];
+    e.iteration = iterations_;
+    trace::count(trace::Ctr::AdclEliminations);
+    if (trace::active()) {
+      trace::instant(ctx.now(), ctx.world_rank(), trace::Cat::Adcl,
+                     "adcl.eliminate", "attr",
+                     static_cast<std::uint64_t>(e.attr), "value",
+                     static_cast<std::uint64_t>(e.value),
+                     static_cast<std::uint64_t>(iterations_));
+      for (int f : e.pruned) {
+        trace::instant(ctx.now(), ctx.world_rank(), trace::Cat::Adcl,
+                       "adcl.eliminate.func", "func",
+                       static_cast<std::uint64_t>(f), "kept",
+                       static_cast<std::uint64_t>(e.kept),
+                       static_cast<std::uint64_t>(iterations_));
+      }
+    }
+    eliminations_.push_back(std::move(e));
+  }
   if (nxt < 0) {
     finalize(ctx);
   } else {
     current_ = nxt;
+  }
+}
+
+void SelectionState::maybe_drift(mpi::Ctx& ctx, const mpi::Comm& comm,
+                                 double sample) {
+  if (opts_.drift_window <= 0) return;
+  drift_batch_.push_back(sample);
+  if (static_cast<int>(drift_batch_.size()) < opts_.drift_window) return;
+  const double local =
+      robust_score(drift_batch_, opts_.filter, opts_.trim_frac);
+  const double agreed = ctx.allreduce(comm, local, mpi::ReduceOp::Max);
+  drift_batch_.clear();
+  if (std::isnan(baseline_score_)) {
+    // No decision-time score on record (e.g. forced winner from history):
+    // adopt the first post-decision window as the baseline.
+    baseline_score_ = agreed;
+    return;
+  }
+  if (agreed <= baseline_score_ * (1.0 + opts_.drift_tolerance)) return;
+  // The operation has drifted away from its decision-time performance
+  // (paper §V: network conditions change; the chosen implementation is no
+  // longer best).  Re-open tuning with a fresh policy.  The check score is
+  // rank-agreed, so every rank re-opens at the same iteration.
+  ++retunes_;
+  retune_iterations_.push_back(iterations_);
+  trace::count(trace::Ctr::AdclRetunes);
+  if (trace::active()) {
+    trace::instant(ctx.now(), ctx.world_rank(), trace::Cat::Adcl,
+                   "adcl.retune", "observed_ns",
+                   static_cast<std::uint64_t>(std::llround(agreed * 1e9)),
+                   "baseline_ns",
+                   static_cast<std::uint64_t>(
+                       std::llround(baseline_score_ * 1e9)),
+                   static_cast<std::uint64_t>(iterations_));
+  }
+  decided_ = false;
+  winner_ = -1;
+  decision_iteration_ = -1;
+  decision_time_ = std::numeric_limits<double>::quiet_NaN();
+  baseline_score_ = std::numeric_limits<double>::quiet_NaN();
+  scores_.clear();
+  batch_.clear();
+  policy_ = make_policy(opts_.policy, *fset_);
+  const int f = policy_->first();
+  if (f < 0) {
+    finalize(ctx);
+  } else {
+    current_ = f;
   }
 }
 
@@ -413,6 +506,13 @@ void SelectionState::finalize(mpi::Ctx& ctx) {
   current_ = winner_;
   decision_iteration_ = iterations_;
   decision_time_ = ctx.now();
+  // Drift baseline: the winner's decision-time score.  NaN (no measured
+  // score, e.g. single-function sets) makes the first post-decision
+  // window adopt itself as the baseline.
+  baseline_score_ = scores_.contains(winner_)
+                        ? scores_.at(winner_)
+                        : std::numeric_limits<double>::quiet_NaN();
+  drift_batch_.clear();
   trace::count(trace::Ctr::AdclDecisions);
   if (trace::active()) {
     trace::instant(ctx.now(), ctx.world_rank(), trace::Cat::Adcl,

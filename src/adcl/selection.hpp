@@ -44,11 +44,31 @@ struct TuningOptions {
   HistoryStore* history = nullptr;
   /// Extra key component for history lookups (e.g. progress-call count).
   std::string history_extra;
+  /// NBC cancel-on-timeout recovery (0 = off); wired into nbc::Handle by
+  /// adcl::Request under lossy fault plans.
+  double op_timeout = 0.0;
+  int max_attempts = 10;
+  /// Drift detection: number of post-decision samples per check window
+  /// (0 = off).  When the agreed window score exceeds the decision-time
+  /// baseline by more than `drift_tolerance` (relative), tuning re-opens.
+  int drift_window = 0;
+  double drift_tolerance = 0.5;
 };
 
 /// A selection policy: a deterministic walk over functions to measure.
 class Policy {
  public:
+  /// One pruning step of an eliminating policy: an attribute sweep closed,
+  /// the attribute was fixed, and every candidate with a different value
+  /// was removed (the audit counterpart of the brute-force score history).
+  struct Elimination {
+    int attr = -1;      ///< attribute index whose sweep closed
+    int value = 0;      ///< value the attribute was fixed at
+    int kept = -1;      ///< best function of the closing phase
+    int iteration = 0;  ///< tuning iteration (stamped by SelectionState)
+    std::vector<int> pruned;  ///< functions removed from the candidate set
+  };
+
   virtual ~Policy() = default;
   /// First function to measure; -1 if the decision is immediate.
   virtual int first() = 0;
@@ -57,6 +77,8 @@ class Policy {
   virtual int next(int func, double score) = 0;
   /// The winning function (valid after next() returned -1).
   [[nodiscard]] virtual int winner() const = 0;
+  /// Pruning steps taken so far (empty for non-eliminating policies).
+  [[nodiscard]] virtual const std::vector<Elimination>& eliminations() const;
 };
 
 std::unique_ptr<Policy> make_policy(PolicyKind kind, const FunctionSet& fset);
@@ -124,8 +146,22 @@ class SelectionState {
   /// Key under which the decision is recorded in the history store.
   void set_history_key(std::string key) { history_key_ = std::move(key); }
 
+  /// Pruning audit of eliminating policies, iteration-stamped (empty for
+  /// brute force / factorial); survives drift-triggered policy resets.
+  [[nodiscard]] const std::vector<Policy::Elimination>& eliminations()
+      const noexcept {
+    return eliminations_;
+  }
+  /// Times drift detection re-opened tuning, and at which iterations.
+  [[nodiscard]] int retunes() const noexcept { return retunes_; }
+  [[nodiscard]] const std::vector<int>& retune_iterations() const noexcept {
+    return retune_iterations_;
+  }
+
  private:
   void finalize(mpi::Ctx& ctx);
+  /// Post-decision sample monitoring; may re-open tuning (drift).
+  void maybe_drift(mpi::Ctx& ctx, const mpi::Comm& comm, double sample);
 
   std::shared_ptr<const FunctionSet> fset_;
   TuningOptions opts_;
@@ -140,6 +176,11 @@ class SelectionState {
   std::map<int, double> scores_;
   std::vector<Measurement> measurements_;
   std::string history_key_;
+  std::vector<Policy::Elimination> eliminations_;
+  int retunes_ = 0;
+  std::vector<int> retune_iterations_;
+  double baseline_score_ = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> drift_batch_;
 };
 
 }  // namespace nbctune::adcl

@@ -67,16 +67,26 @@ LabelKey parse_label(const std::string& label) {
   k.nprocs = std::atoi(np.c_str() + 2);
   k.bytes = std::strtoull(by.substr(0, by.size() - 1).c_str(), nullptr, 10);
   k.what = tok[4];
+  const std::size_t plan = k.what.find("+plan=");
+  if (plan != std::string::npos) {
+    k.plan = k.what.substr(plan + 6);
+    k.what.resize(plan);
+  }
   return k;
 }
 
 std::string LabelKey::group() const {
-  return op + " " + platform + " np" + std::to_string(nprocs) + " " +
-         std::to_string(bytes) + "B";
+  std::string g = op + " " + platform + " np" + std::to_string(nprocs) +
+                  " " + std::to_string(bytes) + "B";
+  if (!plan.empty()) g += " plan=" + plan;
+  return g;
 }
 
 std::string LabelKey::size_group() const {
-  return op + " " + platform + " np" + std::to_string(nprocs) + " " + what;
+  std::string g =
+      op + " " + platform + " np" + std::to_string(nprocs) + " " + what;
+  if (!plan.empty()) g += " plan=" + plan;
+  return g;
 }
 
 // ----------------------------------------------------- scenario indexing
@@ -439,9 +449,27 @@ AdclAudit analyze_adcl(const ScenarioTrace& t) {
       s.iteration = static_cast<int>(e.corr);
       a.scores.push_back(s);
     } else if (e.name == "adcl.decision") {
+      // Later decisions (drift re-tunes) supersede earlier ones.
       a.winner = static_cast<int>(e.arg("winner"));
       a.decision_iteration = static_cast<int>(e.arg("iter"));
       a.decision_ts = e.ts;
+    } else if (e.name == "adcl.retune") {
+      ++a.retunes;
+    } else if (e.name == "adcl.eliminate") {
+      AdclElimination el;
+      el.attr = static_cast<int>(e.arg("attr"));
+      el.value = static_cast<int>(e.arg("value"));
+      el.iteration = static_cast<int>(e.corr);
+      a.eliminations.push_back(std::move(el));
+    } else if (e.name == "adcl.eliminate.func") {
+      // Emitted right after its adcl.eliminate; attach to the newest
+      // record (several eliminations may share one iteration when
+      // exhausted phases cascade).
+      if (!a.eliminations.empty()) {
+        a.eliminations.back().pruned.push_back(
+            static_cast<int>(e.arg("func")));
+        a.eliminations.back().kept = static_cast<int>(e.arg("kept"));
+      }
     }
   }
   // Last score per function (later refinements override earlier ones).
@@ -473,6 +501,33 @@ AdclAudit analyze_adcl(const ScenarioTrace& t) {
   a.samples_seen = ctr("adcl.samples_seen");
   a.samples_filtered = ctr("adcl.samples_filtered");
   return a;
+}
+
+// ----------------------------------------------------------- fault audit
+
+/// Count injection/recovery events.  Injections (fault.*) are emitted
+/// once globally per incident; recovery events (msg.*, nbc.fallback) are
+/// per-rank, so the sums count incidents and rank-actions respectively.
+FaultSummary analyze_faults(const ScenarioTrace& t) {
+  FaultSummary f;
+  for (const AEvent& e : t.events) {
+    if (e.name == "fault.drop") {
+      ++f.drops;
+    } else if (e.name == "fault.dup") {
+      ++f.dups;
+    } else if (e.name == "msg.dup_drop") {
+      ++f.dup_deliveries;
+    } else if (e.name == "msg.retransmit") {
+      ++f.retransmits;
+    } else if (e.name == "msg.send_failure") {
+      ++f.send_failures;
+    } else if (e.name == "nbc.fallback") {
+      ++f.fallbacks;
+    } else if (e.name == "fault.straggler") {
+      ++f.stragglers;
+    }
+  }
+  return f;
 }
 
 // ------------------------------------------------------------ guidelines
@@ -674,6 +729,7 @@ Report analyze(const std::vector<ScenarioTrace>& traces,
 
     sr.ranks = analyze_overlap(ix);
     sr.adcl = analyze_adcl(t);
+    sr.faults = analyze_faults(t);
 
     // Post-decision performance: ops starting after the decision event.
     sr.post_decision_op_elapsed = sr.mean_op_elapsed;

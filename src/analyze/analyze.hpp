@@ -140,6 +140,17 @@ struct AdclScore {
   int iteration = 0;
 };
 
+/// One attribute-heuristic pruning step replayed from adcl.eliminate /
+/// adcl.eliminate.func events: the sweep over `attr` closed, fixing it at
+/// `value` (function `kept` was best), and `pruned` left the candidates.
+struct AdclElimination {
+  int attr = -1;
+  int value = 0;
+  int kept = -1;
+  int iteration = 0;
+  std::vector<int> pruned;
+};
+
 /// Decision audit of one tuned scenario.
 struct AdclAudit {
   bool present = false;  ///< scenario recorded adcl events
@@ -153,6 +164,27 @@ struct AdclAudit {
   std::uint64_t samples_seen = 0;      ///< from per-scenario counters
   std::uint64_t samples_filtered = 0;  ///< (0 when unavailable)
   std::vector<AdclScore> scores;       ///< chronological
+  /// Times drift detection re-opened tuning (adcl.retune events).
+  int retunes = 0;
+  /// Attribute-heuristic pruning audit, chronological (empty for
+  /// non-eliminating policies).
+  std::vector<AdclElimination> eliminations;
+};
+
+/// Fault/resilience activity replayed from trace events; all zero (and
+/// omitted from reports) for fault-free runs.
+struct FaultSummary {
+  std::uint64_t drops = 0;           ///< fault.drop (injected message loss)
+  std::uint64_t dups = 0;            ///< fault.dup (injected duplicates)
+  std::uint64_t dup_deliveries = 0;  ///< msg.dup_drop (dedup discarded)
+  std::uint64_t retransmits = 0;     ///< msg.retransmit
+  std::uint64_t send_failures = 0;   ///< msg.send_failure (budget spent)
+  std::uint64_t fallbacks = 0;       ///< nbc.fallback (per-rank restarts)
+  std::uint64_t stragglers = 0;      ///< fault.straggler (dilated compute)
+  [[nodiscard]] bool any() const noexcept {
+    return (drops | dups | dup_deliveries | retransmits | send_failures |
+            fallbacks | stragglers) != 0;
+  }
 };
 
 /// Everything derived from one scenario trace.
@@ -170,6 +202,7 @@ struct ScenarioReport {
   OpCritical worst;  ///< the op instance with the largest elapsed
   std::vector<RankOverlap> ranks;
   AdclAudit adcl;
+  FaultSummary faults;
 };
 
 /// Outcome of one performance-guideline check.
@@ -227,9 +260,10 @@ void write_table(std::ostream& os, const Report& report);
 // ---------------------------------------------------- label conventions
 
 /// Parsed scenario label: "<op> <platform> np<N> <bytes>B <what>"
-/// (microbench convention; see harness/microbench.cpp).  `valid` is
-/// false for labels of other shapes (e.g. the FFT benches), which then
-/// only participate in the universal guideline G1.
+/// (microbench convention; see harness/microbench.cpp).  A fault plan
+/// rides in the last token as "<what>+plan=<name>" and is split off into
+/// `plan`.  `valid` is false for labels of other shapes (e.g. the FFT
+/// benches), which then only participate in the universal guideline G1.
 struct LabelKey {
   bool valid = false;
   std::string op;
@@ -237,7 +271,10 @@ struct LabelKey {
   int nprocs = 0;
   std::uint64_t bytes = 0;
   std::string what;  ///< "fixed:<impl>" or "adcl:<policy>"
+  std::string plan;  ///< fault-plan name; empty = fault-free
   /// Group key ignoring the what part (G2/G3 compare within a group).
+  /// Includes the plan: faulted runs only compare against equally
+  /// faulted references.
   [[nodiscard]] std::string group() const;
   /// Group key ignoring the message size (G4 sweeps sizes).
   [[nodiscard]] std::string size_group() const;

@@ -104,7 +104,34 @@ void write_json(std::ostream& os, const Report& report) {
            << ",\"score_ns\":" << ns(sc.score) << ",\"iter\":" << sc.iteration
            << "}";
       }
-      os << "]}";
+      os << "]";
+      // Conditional keys: absent for fault-free, non-eliminating runs so
+      // pre-existing golden reports stay byte-identical.
+      if (a.retunes > 0) os << ",\"retunes\":" << a.retunes;
+      if (!a.eliminations.empty()) {
+        os << ",\"eliminations\":[";
+        for (std::size_t k = 0; k < a.eliminations.size(); ++k) {
+          const AdclElimination& el = a.eliminations[k];
+          os << (k == 0 ? "" : ",") << "{\"attr\":" << el.attr
+             << ",\"value\":" << el.value << ",\"kept\":" << el.kept
+             << ",\"iter\":" << el.iteration << ",\"pruned\":[";
+          for (std::size_t p = 0; p < el.pruned.size(); ++p) {
+            os << (p == 0 ? "" : ",") << el.pruned[p];
+          }
+          os << "]}";
+        }
+        os << "]";
+      }
+      os << "}";
+    }
+    if (s.faults.any()) {
+      os << ",\"faults\":{\"drops\":" << s.faults.drops
+         << ",\"dups\":" << s.faults.dups
+         << ",\"dup_deliveries\":" << s.faults.dup_deliveries
+         << ",\"retransmits\":" << s.faults.retransmits
+         << ",\"send_failures\":" << s.faults.send_failures
+         << ",\"fallbacks\":" << s.faults.fallbacks
+         << ",\"stragglers\":" << s.faults.stragglers << "}";
     }
     os << "}";
   }
@@ -206,6 +233,23 @@ void write_table(std::ostream& os, const Report& report) {
         os << "    iter " << sc.iteration << ": func " << sc.func << " -> "
            << us(sc.score) << " us\n";
       }
+      if (a.retunes > 0) {
+        os << "    drift re-tunes: " << a.retunes << "\n";
+      }
+      for (const AdclElimination& el : a.eliminations) {
+        os << "    iter " << el.iteration << ": fixed attr " << el.attr
+           << "=" << el.value << " (kept func " << el.kept << "), pruned";
+        for (int p : el.pruned) os << " " << p;
+        os << "\n";
+      }
+    }
+    if (s.faults.any()) {
+      const FaultSummary& f = s.faults;
+      os << "  faults: drops " << f.drops << ", dups " << f.dups
+         << ", dup-deliveries " << f.dup_deliveries << ", retransmits "
+         << f.retransmits << ", send-failures " << f.send_failures
+         << ", fallbacks " << f.fallbacks << ", stragglers " << f.stragglers
+         << "\n";
     }
   }
   os << "\n== guidelines ==\n";

@@ -1,0 +1,126 @@
+#pragma once
+
+// Deterministic fault injection. A FaultPlan is parsed from a compact spec
+// string and attached to a scenario; the transport owns one Injector per
+// World and consults it at the sim/net boundary. All randomness comes from
+// the plan's own seeded stream (mixed with the scenario seed), so a fixed
+// (seed, plan) pair produces byte-identical traces at any --threads count.
+//
+// Spec grammar (see EXPERIMENTS.md "Running under faults"):
+//   spec       := component (';' component)*
+//   component  := name ':' kv (',' kv)*     -- fault component
+//               | kv                        -- top-level resilience scalar
+//   kv         := key '=' value
+//
+// Components: drop, dup, degrade, stall, straggler, starve, drift.
+// Scalars: seed, rto, retries, op_timeout, max_attempts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace nbctune::fault {
+
+struct Window {
+  double t0 = 0.0;
+  double t1 = 1e30;
+  bool contains(double t) const { return t >= t0 && t < t1; }
+};
+
+struct NicStall {
+  int node = -1;  // -1 matches every node
+  double t0 = 0.0;
+  double dur = 0.0;
+};
+
+struct Straggler {
+  int rank = -1;
+  double factor = 1.0;  // compute-time multiplier inside the window
+  Window win;
+};
+
+struct Starve {
+  int rank = -1;
+  double cost = 0.0;  // extra seconds charged per progress pass
+  Window win;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Message-level injections (inter-node envelopes only).
+  double drop_p = 0.0;
+  Window drop_win;
+  int drop_max = -1;  // -1 = unlimited
+  double dup_p = 0.0;
+  Window dup_win;
+  int dup_max = -1;
+
+  // Link degradation: multipliers on inter-node latency / byte time.
+  bool has_degrade = false;
+  Window degrade_win;
+  double degrade_lat = 1.0;
+  double degrade_bw = 1.0;
+
+  std::vector<NicStall> stalls;
+  std::vector<Straggler> stragglers;
+  std::vector<Starve> starves;
+
+  // Resilience knobs consumed by mpi/nbc/adcl when the plan is attached.
+  double rto = 2e-3;          // initial retransmit timeout (doubles per retry)
+  int retries = 8;            // retransmits before a send is declared failed
+  double op_timeout = 0.0;    // NBC cancel-on-timeout (0 = off; parse() turns
+                              // it on for lossy plans unless set explicitly)
+  int max_attempts = 10;      // fallback restarts before the op gives up
+  int drift_window = 0;       // ADCL post-decision sample window (0 = off)
+  double drift_tolerance = 0.5;
+
+  bool lossy() const { return drop_p > 0.0 || dup_p > 0.0; }
+  bool enabled() const;
+
+  // Throws std::invalid_argument on malformed specs. An empty spec is the
+  // all-quiet plan (enabled() == false).
+  static FaultPlan parse(const std::string& spec);
+};
+
+class Injector {
+ public:
+  Injector(const FaultPlan& plan, std::uint64_t scenario_seed);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Stateful draws: each eligible message consumes exactly one uniform from
+  // the plan's stream. Ineligible messages (p == 0, outside the window, or
+  // budget exhausted) draw nothing, so adding a bounded component does not
+  // reshuffle later draws.
+  bool inject_drop(double now);
+  bool inject_duplicate(double now);
+
+  // Pure queries (no stream consumption).
+  double latency_mult(double now) const;
+  double byte_time_mult(double now) const;
+  // Earliest time node's NIC may act: max(now, end of any covering stall).
+  double nic_release(int node, double now) const;
+  double compute_dilation(int rank, double now) const;
+  double starvation_penalty(int rank, double now) const;
+
+  int drops() const { return drops_; }
+  int dups() const { return dups_; }
+
+ private:
+  FaultPlan plan_;
+  sim::Rng rng_;
+  int drops_ = 0;
+  int dups_ = 0;
+};
+
+// Named plans used by bench_fault_sweep, tests, and CI.
+struct CannedPlan {
+  std::string name;
+  std::string spec;
+};
+const std::vector<CannedPlan>& canned_plans();
+
+}  // namespace nbctune::fault

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "mpi/world.hpp"
 #include "net/machine.hpp"
 #include "sim/engine.hpp"
@@ -25,17 +26,25 @@ std::shared_ptr<const adcl::FunctionSet> scenario_functionset(
 
 namespace {
 
-/// Trace-scope label identifying one scenario run.
+/// Trace-scope label identifying one scenario run.  The fault plan rides
+/// in the last token ("+plan=<name>") so labels stay five space-free
+/// tokens — the analyzer's parse_label contract.
 std::string scenario_label(const MicroScenario& s, const std::string& what) {
-  return std::string(op_name(s.op)) + " " + s.platform.name + " np" +
-         std::to_string(s.nprocs) + " " + std::to_string(s.bytes) + "B " +
-         what;
+  std::string label = std::string(op_name(s.op)) + " " + s.platform.name +
+                      " np" + std::to_string(s.nprocs) + " " +
+                      std::to_string(s.bytes) + "B " + what;
+  if (!s.fault_plan.empty()) {
+    label += "+plan=" +
+             (s.fault_plan_name.empty() ? std::string("spec")
+                                        : s.fault_plan_name);
+  }
+  return label;
 }
 
 /// Executes the loop on every rank; returns the filled outcome (rank 0's
 /// view, which all ranks agree on).
 RunOutcome run_loop(const MicroScenario& s,
-                    const adcl::TuningOptions& tuning, int pinned,
+                    const adcl::TuningOptions& tuning_in, int pinned,
                     const std::string& label) {
   // One trace scope per simulated scenario: a no-op unless the process
   // enabled the trace session (bench --trace).
@@ -43,10 +52,20 @@ RunOutcome run_loop(const MicroScenario& s,
   RunOutcome out;
   sim::Engine engine(s.seed);
   net::Machine machine(s.platform);
+  // The plan must outlive the World (the injector holds a reference).
+  const fault::FaultPlan plan = fault::FaultPlan::parse(s.fault_plan);
+  adcl::TuningOptions tuning = tuning_in;
+  if (plan.enabled()) {
+    tuning.op_timeout = plan.op_timeout;
+    tuning.max_attempts = plan.max_attempts;
+    tuning.drift_window = plan.drift_window;
+    tuning.drift_tolerance = plan.drift_tolerance;
+  }
   mpi::WorldOptions wopts;
   wopts.nprocs = s.nprocs;
   wopts.seed = s.seed;
   wopts.noise_scale = s.noise_scale;
+  if (plan.enabled()) wopts.fault_plan = &plan;
   mpi::World world(engine, machine, wopts);
 
   world.launch([&](mpi::Ctx& ctx) {

@@ -49,6 +49,13 @@ struct MicroScenario {
   bool payload = false;
   /// Include blocking implementations in the alltoall set (paper §IV-B).
   bool include_blocking = false;
+  /// Fault-plan spec (see fault/fault.hpp grammar); empty = fault-free.
+  /// The plan's rto/retries/op_timeout knobs arm the resilient transport
+  /// and NBC recovery; drift knobs arm ADCL re-tuning.
+  std::string fault_plan;
+  /// Short name folded into trace labels as "+plan=<name>" (analyzer
+  /// grouping); defaults to "spec" when a plan is set without a name.
+  std::string fault_plan_name;
 };
 
 /// Result of one benchmark execution.

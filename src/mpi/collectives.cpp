@@ -13,8 +13,9 @@
 namespace nbctune::mpi {
 
 namespace {
-// Internal tag space, far above anything user code passes.
-constexpr int kInternalTagBase = 1 << 24;
+// Internal tag space, far above anything user code passes; doubles as
+// the reliable-channel marker (see kReliableTagBase in world.hpp).
+constexpr int kInternalTagBase = kReliableTagBase;
 constexpr int kEpochSpan = 8;
 
 void fold(double* acc, const double* in, std::size_t n, ReduceOp op) {

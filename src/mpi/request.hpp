@@ -32,6 +32,10 @@ enum class ReqState : std::uint8_t {
   Complete,       ///< done; waiting to be observed by test/wait
 };
 
+/// Which control/eager message this request retransmits on RTO expiry
+/// (lossy fault plans only; None everywhere else).
+enum class RexmitKind : std::uint8_t { None, Eager, Rts, Cts };
+
 /// One pending operation (internal; see mpi::Req for the public handle).
 struct Request {
   std::uint32_t generation = 0;  // even = free, odd = live
@@ -58,6 +62,15 @@ struct Request {
   /// Trace correlation of the bulk data transfer (CPU-chunked or NIC);
   /// links its wire spans to the receiver-side completion instant.
   std::uint64_t xfer_seq = 0;
+
+  // --- resilience (active only under a lossy fault plan) ---
+  bool failed = false;        ///< retries exhausted; wait() throws, NBC
+                              ///< handles fall back
+  bool acked = false;         ///< peer acknowledged the tracked message
+  RexmitKind rexmit = RexmitKind::None;
+  int retries_left = 0;
+  double rto = 0.0;           ///< current timeout (doubles per retransmit)
+  std::uint64_t timer_id = 0; ///< pending RTO engine event (0 = none)
 
   Status status;  ///< filled on receive completion
 };

@@ -43,6 +43,16 @@ World::World(sim::Engine& engine, net::Machine& machine, WorldOptions options)
   for (int r = 0; r < options_.nprocs; ++r) {
     ranks_.push_back(std::make_unique<RankState>());
     ranks_.back()->node = node_of(r);
+    // Per-rank noise stream: seeded from (scenario seed, rank) only, so
+    // jitter draws never depend on global event interleaving.
+    ranks_.back()->noise_rng.reseed(
+        options_.seed ^
+        (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(r + 1)));
+  }
+  if (options_.fault_plan != nullptr && options_.fault_plan->enabled()) {
+    injector_ =
+        std::make_unique<fault::Injector>(*options_.fault_plan, options_.seed);
+    lossy_ = options_.fault_plan->lossy();
   }
   auto data = std::make_shared<CommData>();
   data->context = 0;
@@ -83,11 +93,11 @@ int World::alloc_context(int parent_context, int epoch, int color) {
   return it->second;
 }
 
-double World::jitter(double cost) {
+double World::jitter(int wrank, double cost) {
   const double sigma =
       machine_.platform().noise.rel_sigma * options_.noise_scale;
   if (sigma <= 0.0 || cost <= 0.0) return cost;
-  const double f = 1.0 + sigma * engine_.rng().normal();
+  const double f = 1.0 + sigma * ranks_[wrank]->noise_rng.normal();
   return cost * std::max(0.0, f);
 }
 
@@ -119,22 +129,66 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
     trace::count(trace::Ctr::MsgsEager);
   } else {
     ++src.ctrl_msgs;
-    wire_what = env.kind == Envelope::Kind::Rts ? "wire.rts" : "wire.cts";
-    trace::count(env.kind == Envelope::Kind::Rts ? trace::Ctr::MsgsRts
-                                                 : trace::Ctr::MsgsCts);
+    switch (env.kind) {
+      case Envelope::Kind::Rts:
+        wire_what = "wire.rts";
+        trace::count(trace::Ctr::MsgsRts);
+        break;
+      case Envelope::Kind::Cts:
+        wire_what = "wire.cts";
+        trace::count(trace::Ctr::MsgsCts);
+        break;
+      default:
+        wire_what = "wire.ack";
+        trace::count(trace::Ctr::MsgsAcks);
+        break;
+    }
   }
   if (trace::active()) {
     trace::instant(earliest, env.src, trace::Cat::Msg,
                    env.kind == Envelope::Kind::Eager ? "msg.eager"
                    : env.kind == Envelope::Kind::Rts ? "msg.rts"
-                                                     : "msg.cts",
+                   : env.kind == Envelope::Kind::Cts ? "msg.cts"
+                                                     : "msg.ack",
                    "dst", static_cast<std::uint64_t>(env.dst), "bytes",
                    env.bytes, env.seq);
   }
 
+  // Fault injection applies to inter-node messaging only: intra-node
+  // (shared-memory) traffic and bulk data streams are modeled reliable.
+  fault::Injector* inj = injector_.get();
+  bool dropped = false;
+  bool duped = false;
+  double lat_mult = 1.0;
+  double bt_mult = 1.0;
+  sim::Time tx_earliest = earliest;
+  if (inj != nullptr && src_node != dst_node) {
+    lat_mult = inj->latency_mult(earliest);
+    bt_mult = inj->byte_time_mult(earliest);
+    if (lat_mult != 1.0 || bt_mult != 1.0) {
+      trace::count(trace::Ctr::FaultDegradedMsgs);
+    }
+    const double release = inj->nic_release(src_node, earliest);
+    if (release > tx_earliest) {
+      tx_earliest = release;
+      trace::count(trace::Ctr::FaultNicStalls);
+      if (trace::active()) {
+        trace::instant(earliest, env.src, trace::Cat::Msg, "fault.stall",
+                       "node", static_cast<std::uint64_t>(src_node), nullptr,
+                       0, env.seq);
+      }
+    }
+    // The control plane (tag >= kReliableTagBase) rides a reliable
+    // channel: degraded/stalled like everything else, but never lost.
+    if (env.tag < kReliableTagBase) {
+      dropped = inj->inject_drop(tx_earliest);
+      if (!dropped) duped = inj->inject_duplicate(tx_earliest);
+    }
+  }
+
   // Only payload-bearing messages count towards receive-side congestion;
   // tiny RTS/CTS control messages do not meaningfully load a receiver.
-  const bool data = env.kind == Envelope::Kind::Eager;
+  const bool data = env.kind == Envelope::Kind::Eager && !dropped;
   if (data) machine_.add_inflight(dst_node);
 
   sim::Time local_done;
@@ -154,21 +208,47 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
     const int nic = machine_.nic_for(src_node, dst_node);
     const int rnic = machine_.nic_for(dst_node, src_node);
     const double tx_time =
-        static_cast<double>(wire_bytes) * p.inter.byte_time + p.inter.msg_gap;
-    auto tx = machine_.reserve_tx(src_node, nic, earliest, tx_time, wire_what,
-                                  wire_bytes, env.seq);
-    const double lat = machine_.latency(src_node, dst_node);
+        static_cast<double>(wire_bytes) * p.inter.byte_time * bt_mult +
+        p.inter.msg_gap;
+    auto tx = machine_.reserve_tx(src_node, nic, tx_earliest, tx_time,
+                                  wire_what, wire_bytes, env.seq);
+    local_done = tx.end;
+    if (dropped) {
+      // The sender's NIC transmitted; the packet died in the network.
+      trace::count(trace::Ctr::FaultDrops);
+      if (trace::active()) {
+        trace::instant(tx.end, env.src, trace::Cat::Msg, "fault.drop", "dst",
+                       static_cast<std::uint64_t>(env.dst), "bytes",
+                       env.bytes, env.seq);
+      }
+      return local_done;
+    }
+    const double lat = machine_.latency(src_node, dst_node) * lat_mult;
     // Receive side pays a per-message gap too (NIC message-rate limit)
     // and slows down under incast (congestion factor).
     const double factor = machine_.congestion_factor(dst_node, /*intra=*/false);
-    auto rx = machine_.reserve_rx(
-        dst_node, rnic, tx.start + lat,
-        (static_cast<double>(wire_bytes) * p.inter.byte_time +
+    const double rx_time =
+        (static_cast<double>(wire_bytes) * p.inter.byte_time * bt_mult +
          p.inter.msg_gap) *
-            factor,
-        wire_what, wire_bytes, env.seq);
-    local_done = tx.end;
+        factor;
+    auto rx = machine_.reserve_rx(dst_node, rnic, tx.start + lat, rx_time,
+                                  wire_what, wire_bytes, env.seq);
     arrival = rx.end;
+    if (duped) {
+      // The network delivers a second copy right behind the first; the
+      // receive-side dedup table discards it on arrival.
+      trace::count(trace::Ctr::FaultDups);
+      if (trace::active()) {
+        trace::instant(rx.end, env.dst, trace::Cat::Msg, "fault.dup", "src",
+                       static_cast<std::uint64_t>(env.src), "bytes",
+                       env.bytes, env.seq);
+      }
+      auto rx2 = machine_.reserve_rx(dst_node, rnic, rx.end, rx_time,
+                                     "wire.dup", wire_bytes, env.seq);
+      auto boxed2 = std::make_shared<Envelope>(env);
+      engine_.schedule_at(rx2.end,
+                          [this, boxed2] { deliver(std::move(*boxed2)); });
+    }
   }
   auto boxed = std::make_shared<Envelope>(std::move(env));
   engine_.schedule_at(arrival, [this, boxed, data, dst_node] {
@@ -181,6 +261,34 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
 void World::deliver(Envelope env) {
   const int dst_rank = env.dst;
   RankState& dst = *ranks_[dst_rank];
+  if (lossy_) {
+    if (env.kind == Envelope::Kind::Ack) {
+      handle_ack(env);
+      return;
+    }
+    // Tracked (acked) messages: inter-node data-plane envelopes carrying
+    // a match id (the reliable control plane is neither acked nor deduped).
+    if (env.match_id != 0 && ranks_[env.src]->node != dst.node &&
+        env.tag < kReliableTagBase) {
+      const auto key = std::make_tuple(static_cast<std::uint8_t>(env.kind),
+                                       env.src, env.match_id);
+      if (!dst.seen_msgs.insert(key).second) {
+        // Duplicate (injected, or a retransmit whose original made it
+        // through): discard, but re-ack — the first ack may be the one
+        // the network ate.
+        trace::count(trace::Ctr::MsgsDupDeliveries);
+        if (trace::active()) {
+          trace::instant(engine_.now(), dst_rank, trace::Cat::Msg,
+                         "msg.dup_drop", "src",
+                         static_cast<std::uint64_t>(env.src), nullptr, 0,
+                         env.seq);
+        }
+        send_ack(env);
+        return;
+      }
+      send_ack(env);
+    }
+  }
   env.arrival_seq = dst.next_arrival_seq++;
   if (trace::active()) {
     trace::instant(engine_.now(), dst_rank, trace::Cat::Msg, "msg.deliver",
@@ -218,15 +326,26 @@ void World::start_nic_bulk(int src, int dst, Req sreq, std::uint64_t dst_match,
   } else {
     const int nic = machine_.nic_for(src_node, dst_node);
     const int rnic = machine_.nic_for(dst_node, src_node);
+    double lat_mult = 1.0;
+    double bt_mult = 1.0;
+    if (injector_ != nullptr) {
+      lat_mult = injector_->latency_mult(earliest);
+      bt_mult = injector_->byte_time_mult(earliest);
+      if (lat_mult != 1.0 || bt_mult != 1.0) {
+        trace::count(trace::Ctr::FaultDegradedMsgs);
+      }
+    }
     auto tx = machine_.reserve_tx(
         src_node, nic, earliest,
-        static_cast<double>(bytes) * p.inter.byte_time + p.inter.msg_gap,
+        static_cast<double>(bytes) * p.inter.byte_time * bt_mult +
+            p.inter.msg_gap,
         "wire.bulk", bytes, seq);
-    const double lat = machine_.latency(src_node, dst_node);
+    const double lat = machine_.latency(src_node, dst_node) * lat_mult;
     const double factor = machine_.congestion_factor(dst_node, /*intra=*/false);
     auto rx = machine_.reserve_rx(
         dst_node, rnic, tx.start + lat,
-        (static_cast<double>(bytes) * p.inter.byte_time + p.inter.msg_gap) *
+        (static_cast<double>(bytes) * p.inter.byte_time * bt_mult +
+         p.inter.msg_gap) *
             factor,
         "wire.bulk", bytes, seq);
     send_done = tx.end;
@@ -264,6 +383,10 @@ void World::complete_request(int wrank, std::uint64_t match_id,
   RankState& rs = *ranks_[wrank];
   Request& r = rs.pool.at(match_index(match_id));
   if (r.generation != match_gen(match_id)) return;  // cancelled/stale
+  if (r.timer_id != 0) {
+    engine_.cancel(r.timer_id);
+    r.timer_id = 0;
+  }
   if (deliver_from != nullptr && r.recv_buf != nullptr) {
     std::memcpy(r.recv_buf, deliver_from, r.bytes);
   }
@@ -272,24 +395,147 @@ void World::complete_request(int wrank, std::uint64_t match_id,
   notify(wrank);
 }
 
+// ------------------------------------------------- resilience (lossy plans)
+
+void World::arm_retransmit(int wrank, Req h) {
+  Request& r = ranks_[wrank]->pool.get(h);
+  r.timer_id =
+      engine_.schedule_after(r.rto, [this, wrank, h] { on_rto(wrank, h); });
+}
+
+void World::on_rto(int wrank, Req h) {
+  RankState& rs = *ranks_[wrank];
+  if (!rs.pool.live(h)) return;
+  Request& r = rs.pool.get(h);
+  r.timer_id = 0;
+  if (r.acked || r.complete || r.rexmit == RexmitKind::None) return;
+  if (r.retries_left <= 0) {
+    r.failed = true;
+    r.rexmit = RexmitKind::None;
+    trace::count(trace::Ctr::MsgsSendFailures);
+    if (trace::active()) {
+      trace::instant(engine_.now(), wrank, trace::Cat::Msg,
+                     "msg.send_failure", "peer",
+                     static_cast<std::uint64_t>(r.peer), "tag",
+                     static_cast<std::uint64_t>(r.tag), pack_match(h));
+    }
+    notify(wrank);
+    return;
+  }
+  --r.retries_left;
+  Envelope env = rebuild_envelope(wrank, h, r);
+  trace::count(trace::Ctr::MsgsRetransmits);
+  const sim::Time t = engine_.now();
+  ship(std::move(env), t);
+  if (trace::active()) {
+    // next_msg_seq_ holds the seq ship() just assigned: the retransmit
+    // instant correlates with the new wire message.
+    trace::instant(t, wrank, trace::Cat::Msg, "msg.retransmit", "peer",
+                   static_cast<std::uint64_t>(r.peer), "left",
+                   static_cast<std::uint64_t>(r.retries_left), next_msg_seq_);
+  }
+  r.rto *= 2.0;  // exponential backoff
+  arm_retransmit(wrank, h);
+}
+
+Envelope World::rebuild_envelope(int wrank, Req h, const Request& r) {
+  Envelope env;
+  env.src = wrank;
+  env.dst = r.peer;
+  env.context = r.context;
+  env.tag = r.tag;
+  env.bytes = r.bytes;
+  switch (r.rexmit) {
+    case RexmitKind::Eager:
+      env.kind = Envelope::Kind::Eager;
+      env.match_id = pack_match(h);
+      if (r.send_buf != nullptr && r.bytes > 0) {
+        env.payload.resize(r.bytes);
+        std::memcpy(env.payload.data(), r.send_buf, r.bytes);
+      }
+      break;
+    case RexmitKind::Rts:
+      env.kind = Envelope::Kind::Rts;
+      env.match_id = pack_match(h);
+      env.send_buf = r.send_buf;
+      break;
+    case RexmitKind::Cts:
+      env.kind = Envelope::Kind::Cts;
+      env.match_id = r.match_id;  // the sender-side request (from the RTS)
+      env.peer_match_id = pack_match(h);
+      break;
+    case RexmitKind::None:
+      break;
+  }
+  return env;
+}
+
+void World::handle_ack(const Envelope& env) {
+  RankState& rs = *ranks_[env.dst];
+  const Req h{match_index(env.match_id), match_gen(env.match_id)};
+  if (!rs.pool.live(h)) return;
+  Request& r = rs.pool.get(h);
+  if (r.acked) return;
+  r.acked = true;
+  r.rexmit = RexmitKind::None;
+  if (r.timer_id != 0) {
+    engine_.cancel(r.timer_id);
+    r.timer_id = 0;
+  }
+  // Eager sends complete on acknowledgement (the lossy-mode replacement
+  // for the local NIC-done completion); rendezvous state machines keep
+  // advancing through their own CTS/bulk events.
+  if (r.state == ReqState::EagerInFlight) {
+    r.complete = true;
+    r.state = ReqState::Complete;
+  }
+  notify(env.dst);
+}
+
+void World::send_ack(const Envelope& env) {
+  Envelope ack;
+  ack.kind = Envelope::Kind::Ack;
+  ack.src = env.dst;
+  ack.dst = env.src;
+  ack.context = env.context;
+  ack.tag = env.tag;
+  // Route the ack to the request that armed the retransmit timer: the
+  // sender request for eager/RTS, our (receiver) request for CTS.
+  ack.match_id = env.kind == Envelope::Kind::Cts ? env.peer_match_id
+                                                 : env.match_id;
+  ship(std::move(ack), engine_.now());
+}
+
 // -------------------------------------------------------------------- Ctx
 
 Ctx::Ctx(World& world, int wrank) : world_(world), wrank_(wrank) {}
 
 void Ctx::charge(double seconds) {
   if (seconds <= 0.0) return;
-  st().process->sleep(world_.jitter(seconds));
+  st().process->sleep(world_.jitter(wrank_, seconds));
 }
 
 void Ctx::compute(double seconds) {
   if (seconds < 0.0) throw std::invalid_argument("compute: negative time");
   if (seconds == 0.0) return;
-  double t = world_.jitter(seconds);
+  double t = world_.jitter(wrank_, seconds);
   const auto& noise = world_.platform().noise;
   const double scale = world_.options().noise_scale;
   if (noise.outlier_prob * scale > 0.0 &&
-      world_.engine().rng().uniform() < noise.outlier_prob * scale) {
+      st().noise_rng.uniform() < noise.outlier_prob * scale) {
     t *= noise.outlier_factor;
+  }
+  if (fault::Injector* inj = world_.injector()) {
+    const double dilation = inj->compute_dilation(wrank_, now());
+    if (dilation != 1.0) {
+      t *= dilation;
+      trace::count(trace::Ctr::FaultStragglerBursts);
+      if (trace::active()) {
+        trace::instant(now(), wrank_, trace::Cat::Progress, "fault.straggler",
+                       "factor_x1000",
+                       static_cast<std::uint64_t>(dilation * 1000.0));
+      }
+    }
   }
   const sim::Time t0 = now();
   st().process->sleep(t);
@@ -354,6 +600,9 @@ Req Ctx::post_isend(const Comm& comm, const void* buf, std::size_t bytes,
       env.payload.resize(bytes);
       std::memcpy(env.payload.data(), buf, bytes);
     }
+    const bool tracked =
+        world_.lossy() && !same_node && tag < kReliableTagBase;
+    if (tracked) env.match_id = pack_match(h);
     const sim::Time start = now() + earliest_offset + my_prep;
     const sim::Time local_done = world_.ship(std::move(env), start);
     cpu_cost += my_prep;
@@ -361,6 +610,16 @@ Req Ctx::post_isend(const Comm& comm, const void* buf, std::size_t bytes,
       // Payload copied out of the user buffer already: locally complete.
       r.complete = true;
       r.state = ReqState::Complete;
+    } else if (tracked) {
+      // Lossy mode: completion comes from the peer's acknowledgement, and
+      // an RTO timer retransmits until it does (or retries run out).
+      (void)local_done;
+      r.state = ReqState::EagerInFlight;
+      const fault::FaultPlan& plan = world_.injector()->plan();
+      r.rexmit = RexmitKind::Eager;
+      r.retries_left = plan.retries;
+      r.rto = plan.rto;
+      world_.arm_retransmit(wrank_, h);
     } else {
       r.state = ReqState::EagerInFlight;
       const int self = wrank_;
@@ -384,6 +643,13 @@ Req Ctx::post_isend(const Comm& comm, const void* buf, std::size_t bytes,
     world_.ship(std::move(env), now() + earliest_offset + my_prep);
     cpu_cost += my_prep;
     r.state = ReqState::RtsSent;
+    if (world_.lossy() && !same_node && tag < kReliableTagBase) {
+      const fault::FaultPlan& plan = world_.injector()->plan();
+      r.rexmit = RexmitKind::Rts;
+      r.retries_left = plan.retries;
+      r.rto = plan.rto;
+      world_.arm_retransmit(wrank_, h);
+    }
   }
   return h;
 }
@@ -496,6 +762,18 @@ void Ctx::send_cts(const Envelope& rts, Req rh, double& cpu_cost) {
   cts.match_id = rts.match_id;        // sender request
   cts.peer_match_id = pack_match(rh); // this (receiver) request
   world_.ship(std::move(cts), now() + cpu_cost);
+  if (world_.lossy() && rs.node != world_.ranks_[rts.src]->node &&
+      rts.tag < kReliableTagBase) {
+    // Track the CTS for retransmission; stash the sender's match id (the
+    // receive side does not otherwise use the field) so the control
+    // message can be rebuilt on RTO expiry.
+    const fault::FaultPlan& plan = world_.injector()->plan();
+    r.match_id = rts.match_id;
+    r.rexmit = RexmitKind::Cts;
+    r.retries_left = plan.retries;
+    r.rto = plan.rto;
+    world_.arm_retransmit(wrank_, rh);
+  }
 }
 
 void Ctx::handle_envelope(Envelope& env, double& cpu_cost) {
@@ -504,7 +782,16 @@ void Ctx::handle_envelope(Envelope& env, double& cpu_cost) {
     // Route to the sending request.
     Request& r = rs.pool.at(match_index(env.match_id));
     if (r.generation != match_gen(env.match_id)) return;
-    assert(r.state == ReqState::RtsSent);
+    // Under a lossy plan a CTS can land after the bulk already started
+    // (retransmit raced the ack); ignore anything but the first.
+    if (r.state != ReqState::RtsSent) return;
+    // The CTS proves the RTS arrived: stop retransmitting it.
+    if (r.timer_id != 0) {
+      world_.engine().cancel(r.timer_id);
+      r.timer_id = 0;
+    }
+    r.rexmit = RexmitKind::None;
+    r.acked = true;
     r.peer_match_id = env.peer_match_id;
     const auto& p = world_.platform();
     cpu_cost += p.ctrl_overhead;
@@ -626,15 +913,27 @@ void Ctx::push_chunks(double& cpu_cost) {
     } else {
       const int nic = world_.machine().nic_for(rs.node, dst_node);
       const int rnic = world_.machine().nic_for(dst_node, rs.node);
+      double lat_mult = 1.0;
+      double bt_mult = 1.0;
+      if (fault::Injector* inj = world_.injector()) {
+        lat_mult = inj->latency_mult(now() + cpu_cost);
+        bt_mult = inj->byte_time_mult(now() + cpu_cost);
+        if (lat_mult != 1.0 || bt_mult != 1.0) {
+          trace::count(trace::Ctr::FaultDegradedMsgs);
+        }
+      }
       auto tx = world_.machine().reserve_tx(
           rs.node, nic, now() + cpu_cost,
-          static_cast<double>(chunk) * p.inter.byte_time + p.inter.msg_gap,
+          static_cast<double>(chunk) * p.inter.byte_time * bt_mult +
+              p.inter.msg_gap,
           "wire.chunk", chunk, r.xfer_seq);
       const double factor =
           world_.machine().congestion_factor(dst_node, /*intra=*/false);
       auto rx = world_.machine().reserve_rx(
-          dst_node, rnic, tx.start + world_.machine().latency(rs.node, dst_node),
-          (static_cast<double>(chunk) * p.inter.byte_time + p.inter.msg_gap) *
+          dst_node, rnic,
+          tx.start + world_.machine().latency(rs.node, dst_node) * lat_mult,
+          (static_cast<double>(chunk) * p.inter.byte_time * bt_mult +
+           p.inter.msg_gap) *
               factor,
           "wire.chunk", chunk, r.xfer_seq);
       drain_end = tx.end;
@@ -691,6 +990,13 @@ void Ctx::progress_pass(bool explicit_call) {
   const sim::Time t0 = now();
   double cost = explicit_call ? p.progress_cost : 0.0;
   cost += p.per_req_poll_cost * static_cast<double>(rs.outstanding);
+  if (fault::Injector* inj = world_.injector()) {
+    const double penalty = inj->starvation_penalty(wrank_, t0);
+    if (penalty > 0.0) {
+      cost += penalty;
+      trace::count(trace::Ctr::FaultStarvedPasses);
+    }
+  }
   if (!rs.inbound.empty()) {
     std::vector<Envelope> batch;
     batch.swap(rs.inbound);
@@ -759,29 +1065,113 @@ void Ctx::wait_until(const std::function<bool()>& pred) {
   block_until([&] { return pred(); });
 }
 
+namespace {
+[[noreturn]] void throw_send_failed(int wrank) {
+  throw std::runtime_error("mpi: send failed after retries exhausted (rank " +
+                           std::to_string(wrank) + ")");
+}
+}  // namespace
+
 bool Ctx::test(Req& h, Status* status) {
   if (h.null()) return true;
   progress_pass(false);
-  if (!st().pool.get(h).complete) return false;
+  Request& r = st().pool.get(h);
+  if (r.failed) {
+    cancel_request(h);
+    throw_send_failed(wrank_);
+  }
+  if (!r.complete) return false;
   observe(h, status);
   return true;
 }
 
 void Ctx::wait(Req& h, Status* status) {
   if (h.null()) return;
-  block_until([&] { return st().pool.get(h).complete; });
+  block_until([&] {
+    const Request& r = st().pool.get(h);
+    return r.complete || r.failed;
+  });
+  if (st().pool.get(h).failed) {
+    cancel_request(h);
+    throw_send_failed(wrank_);
+  }
   observe(h, status);
 }
 
 void Ctx::wait_all(std::vector<Req>& hs) {
   block_until([&] {
     for (const Req& h : hs) {
-      if (!h.null() && !st().pool.get(h).complete) return false;
+      if (h.null()) continue;
+      const Request& r = st().pool.get(h);
+      if (!r.complete && !r.failed) return false;
     }
     return true;
   });
+  bool any_failed = false;
+  for (Req& h : hs) {
+    if (!h.null() && st().pool.get(h).failed) {
+      cancel_request(h);
+      any_failed = true;
+    }
+  }
+  if (any_failed) {
+    for (Req& h : hs) {
+      if (!h.null() && st().pool.get(h).complete) observe(h, nullptr);
+    }
+    throw_send_failed(wrank_);
+  }
   for (Req& h : hs) observe(h, nullptr);
 }
+
+void Ctx::cancel_request(Req& h) {
+  if (h.null()) return;
+  RankState& rs = st();
+  if (!rs.pool.live(h)) {
+    h = Req{};
+    return;
+  }
+  Request& r = rs.pool.get(h);
+  if (r.timer_id != 0) {
+    world_.engine().cancel(r.timer_id);
+    r.timer_id = 0;
+  }
+  const auto is_h = [&](const Req& q) {
+    return q.index == h.index && q.generation == h.generation;
+  };
+  if (r.kind == ReqKind::Recv && r.state == ReqState::Posted) {
+    if (r.peer != kAnySource && r.tag != kAnyTag) {
+      auto it = rs.exact_posted.find(MatchKey{r.context, r.tag, r.peer});
+      if (it != rs.exact_posted.end()) {
+        auto& dq = it->second;
+        for (auto qi = dq.begin(); qi != dq.end(); ++qi) {
+          if (is_h(*qi)) {
+            dq.erase(qi);
+            break;
+          }
+        }
+        if (dq.empty()) rs.exact_posted.erase(it);
+      }
+    } else {
+      auto& v = rs.wildcard_posted;
+      v.erase(std::remove_if(v.begin(), v.end(), is_h), v.end());
+    }
+  }
+  auto& bulks = rs.cpu_bulk_sends;
+  bulks.erase(std::remove_if(bulks.begin(), bulks.end(), is_h), bulks.end());
+  // Any in-flight transport event for this request (NIC bulk completion,
+  // chunk drain, RTO) is generation-checked and becomes a no-op.
+  --rs.outstanding;
+  rs.pool.release(h);
+  h = Req{};
+}
+
+std::uint64_t Ctx::schedule_wake(double dt) {
+  const int self = wrank_;
+  return world_.engine().schedule_after(
+      dt, [w = &world_, self] { w->notify(self); });
+}
+
+void Ctx::cancel_event(std::uint64_t id) { world_.engine().cancel(id); }
 
 void Ctx::send(const Comm& comm, const void* buf, std::size_t bytes, int dst,
                int tag) {

@@ -18,15 +18,19 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/request.hpp"
 #include "mpi/types.hpp"
 #include "net/machine.hpp"
 #include "sim/engine.hpp"
+#include "sim/random.hpp"
 
 namespace nbctune::mpi {
 
@@ -43,6 +47,14 @@ class ProgressClient {
   virtual double poke(Ctx& ctx) = 0;
 };
 
+/// Tags at or above this base form the reliable control plane (the
+/// bootstrap collectives of collectives.cpp: tuner agreement, recovery
+/// votes).  Fault injection never drops or duplicates them and the lossy
+/// transport does not ack/track them — recovery agreement must be able to
+/// run while the data plane is failing, exactly like the out-of-band
+/// channels of real fault-tolerant runtimes.
+inline constexpr int kReliableTagBase = 1 << 24;
+
 /// World construction options.
 struct WorldOptions {
   int nprocs = 2;
@@ -52,6 +64,9 @@ struct WorldOptions {
   /// Rank placement onto nodes.
   enum class Placement { Block, RoundRobin } placement = Placement::Block;
   std::size_t fiber_stack_bytes = 256 * 1024;
+  /// Optional fault plan (must outlive the World).  Attaching a lossy plan
+  /// switches inter-node messaging to ack/retransmit mode.
+  const fault::FaultPlan* fault_plan = nullptr;
 };
 
 // NOTE on cost-model runs: large-scale experiments pass null buffers to
@@ -62,9 +77,10 @@ struct WorldOptions {
 
 namespace detail {
 
-/// In-flight transport message (eager payload, RTS, or CTS).
+/// In-flight transport message (eager payload, RTS, CTS, or — under a
+/// lossy fault plan — an acknowledgement).
 struct Envelope {
-  enum class Kind : std::uint8_t { Eager, Rts, Cts } kind = Kind::Eager;
+  enum class Kind : std::uint8_t { Eager, Rts, Cts, Ack } kind = Kind::Eager;
   int src = 0;  ///< world rank
   int dst = 0;  ///< world rank
   int context = 0;
@@ -106,6 +122,15 @@ struct RankState {
   std::uint64_t next_post_seq = 0;
   std::uint64_t next_arrival_seq = 0;
   std::uint64_t ctrl_msgs = 0, data_msgs = 0;
+  /// Per-rank noise stream (seeded per scenario): jitter draws are
+  /// independent of global event interleaving, so rel_sigma > 0 runs stay
+  /// byte-identical across --threads counts.
+  sim::Rng noise_rng{1};
+  /// Duplicate-delivery suppression under lossy fault plans: (kind, src,
+  /// match_id) triples already delivered to this rank.  The kind
+  /// disambiguates match ids drawn from different pools (an eager/RTS id
+  /// names a request of `src`, a CTS id names one of ours).
+  std::set<std::tuple<std::uint8_t, int, std::uint64_t>> seen_msgs;
 };
 
 }  // namespace detail
@@ -143,8 +168,17 @@ class World {
   /// the same id.
   int alloc_context(int parent_context, int epoch, int color);
 
-  /// Jitter a cost by the platform noise model (scaled by noise_scale).
-  double jitter(double cost);
+  /// Jitter a cost by the platform noise model (scaled by noise_scale),
+  /// drawing from `wrank`'s private noise stream.
+  double jitter(int wrank, double cost);
+
+  /// The fault injector, or nullptr when no plan is attached.
+  [[nodiscard]] fault::Injector* injector() noexcept {
+    return injector_.get();
+  }
+  /// True when a lossy plan is attached: inter-node messages are acked,
+  /// deduplicated, and retransmitted on RTO expiry.
+  [[nodiscard]] bool lossy() const noexcept { return lossy_; }
 
   /// Total messages put on the wire (diagnostics).
   [[nodiscard]] std::uint64_t total_data_msgs() const noexcept;
@@ -172,6 +206,19 @@ class World {
   void complete_request(int wrank, std::uint64_t match_id,
                         const void* deliver_from);
 
+  // ---- resilience (lossy fault plans) ----
+  /// Arm (or re-arm) the RTO timer on a tracked send-side message.
+  void arm_retransmit(int wrank, Req h);
+  /// RTO expiry: retransmit with doubled timeout, or declare failure.
+  void on_rto(int wrank, Req h);
+  /// Reconstruct the tracked message of `r` for retransmission.
+  detail::Envelope rebuild_envelope(int wrank, Req h, const Request& r);
+  /// Ack arrival on the sender: mark acked, cancel the timer, complete
+  /// eager sends.
+  void handle_ack(const detail::Envelope& env);
+  /// Ship a zero-byte Ack for a delivered tracked envelope.
+  void send_ack(const detail::Envelope& env);
+
   sim::Engine& engine_;
   net::Machine& machine_;
   WorldOptions options_;
@@ -184,6 +231,8 @@ class World {
   /// Message / bulk-transfer id source (trace correlation; deterministic:
   /// ships happen in simulated-event order, which is seed-stable).
   std::uint64_t next_msg_seq_ = 0;
+  std::unique_ptr<fault::Injector> injector_;
+  bool lossy_ = false;
 };
 
 /// Per-rank API surface.  A Ctx is only valid inside its own fiber.
@@ -276,6 +325,17 @@ class Ctx {
   /// evaluated after each progress pass; the rank sleeps between passes
   /// and is woken by message events.  Used by higher layers (NBC wait).
   void wait_until(const std::function<bool()>& pred);
+
+  /// Cancel an un-observed request without completing it (NBC timeout
+  /// recovery): stops its RTO timer, unlinks posted receives and
+  /// CPU-driven bulks, and releases the slot.  The handle becomes null.
+  void cancel_request(Req& h);
+
+  /// Schedule a wakeup of this rank `dt` seconds from now; returns the
+  /// engine event id (cancel with cancel_event).  Lets blocked waiters
+  /// observe deadlines even when no message event arrives.
+  std::uint64_t schedule_wake(double dt);
+  void cancel_event(std::uint64_t id);
 
  private:
   friend class World;

@@ -45,6 +45,8 @@ void Handle::rebind(const Schedule* schedule) {
 }
 
 void Handle::trace_completion() {
+  if (completion_emitted_) return;
+  completion_emitted_ = true;
   trace::count(trace::Ctr::NbcOpsCompleted);
   trace::record(trace::Hist::RoundsPerOp, round_);
   if (trace::active()) {
@@ -100,6 +102,7 @@ double Handle::post_round(std::size_t r) {
 void Handle::start() {
   if (active_) throw std::logic_error("start() while operation in flight");
   round_ = 0;
+  completion_emitted_ = false;
   start_time_ = ctx_.now();
   op_corr_ = ctx_.alloc_op_corr();
   trace::count(trace::Ctr::NbcOpsStarted);
@@ -167,8 +170,84 @@ bool Handle::test() {
   return done_;
 }
 
+bool Handle::any_pending_failed() const {
+  for (const mpi::Request* r : pending_ptrs_) {
+    if (r->failed) return true;
+  }
+  return false;
+}
+
+void Handle::recover() {
+  for (mpi::Req& h : pending_) ctx_.cancel_request(h);
+  pending_.clear();
+  pending_ptrs_.clear();
+  ++fallbacks_;
+  trace::count(trace::Ctr::NbcFallbacks);
+  if (trace::active()) {
+    trace::instant(ctx_.now(), ctx_.world_rank(), trace::Cat::Nbc,
+                   "nbc.fallback", "attempt",
+                   static_cast<std::uint64_t>(fallbacks_), "tag",
+                   static_cast<std::uint64_t>(tag_), op_corr_);
+  }
+  // Restart on the fallback schedule with a fresh tag.  Every rank
+  // recovers the same number of times (the agreement in wait() is
+  // collective), so the per-rank tag counters stay aligned and stale
+  // messages for the old tag rot unmatched in the unexpected queues.
+  schedule_ = recovery_.fallback;
+  tag_ = ctx_.alloc_nbc_tag();
+  round_ = 0;
+  done_ = schedule_->num_rounds() == 0;
+  active_ = !done_;
+  // Like start(), but with no nbc.start / ops-started emission: this is
+  // still the same logical operation (G1 counts one start, one
+  // completion).  Data-movement schedules are idempotent, so ranks that
+  // had already finished simply re-execute.
+  if (done_) {
+    active_ = false;
+    trace_completion();
+    return;
+  }
+  double cost = post_round(0);
+  ctx_.charge(cost);
+  double extra = 0.0;
+  while (!done_ && pending_.empty()) {
+    if (++round_ >= schedule_->num_rounds()) {
+      done_ = true;
+      active_ = false;
+      break;
+    }
+    extra += post_round(round_);
+  }
+  ctx_.charge(extra);
+  if (done_) trace_completion();
+}
+
 void Handle::wait() {
-  ctx_.wait_until([this] { return done_; });
+  if (recovery_.op_timeout <= 0.0 || recovery_.fallback == nullptr) {
+    ctx_.wait_until([this] { return done_; });
+    return;
+  }
+  int attempts = 0;
+  for (;;) {
+    const double deadline = ctx_.now() + recovery_.op_timeout;
+    // A timer event guarantees the blocked rank wakes to observe the
+    // deadline even if no message ever arrives again.
+    const std::uint64_t wake = ctx_.schedule_wake(recovery_.op_timeout);
+    ctx_.wait_until([this, deadline] {
+      return done_ || any_pending_failed() || ctx_.now() >= deadline;
+    });
+    ctx_.cancel_event(wake);
+    // Collective agreement: recovery must be lockstep, so every rank asks
+    // whether anyone is still incomplete before returning or recovering.
+    const double unfinished =
+        ctx_.allreduce(comm_, done_ ? 0.0 : 1.0, mpi::ReduceOp::Max);
+    if (unfinished == 0.0) return;
+    if (++attempts > recovery_.max_attempts) {
+      throw std::runtime_error(
+          "nbc: operation incomplete after max fallback attempts");
+    }
+    recover();
+  }
 }
 
 }  // namespace nbctune::nbc

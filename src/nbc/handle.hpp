@@ -21,6 +21,16 @@ namespace nbctune::nbc {
 /// Executes one Schedule; restartable (persistent-operation semantics).
 class Handle : public mpi::ProgressClient {
  public:
+  /// Cancel-on-timeout recovery (armed under lossy fault plans): when the
+  /// operation has not completed `op_timeout` simulated seconds into a
+  /// wait() — or a transport send was declared failed — every rank agrees
+  /// (collectively) to cancel what is in flight and restart the operation
+  /// on the fallback schedule with a fresh tag.
+  struct Recovery {
+    double op_timeout = 0.0;           ///< 0 = recovery off
+    const Schedule* fallback = nullptr;
+    int max_attempts = 10;             ///< restarts before wait() throws
+  };
   /// @param ctx       the owning rank's context
   /// @param comm      communicator the schedule's peers refer to
   /// @param schedule  recipe to execute; must outlive the handle
@@ -43,8 +53,17 @@ class Handle : public mpi::ProgressClient {
   /// One progress pass on this rank; cheap completion check afterwards.
   bool test();
 
-  /// Block (progressing) until the operation completes.
+  /// Block (progressing) until the operation completes.  With recovery
+  /// armed this is a deadline loop: timeout/failure triggers a collective
+  /// agreement and a fallback restart (see Recovery).
   void wait();
+
+  /// Arm (or disarm, with op_timeout <= 0) timeout recovery.  The
+  /// fallback schedule must outlive the handle.
+  void set_recovery(const Recovery& r) { recovery_ = r; }
+
+  /// Fallback restarts taken by this handle (across all executions).
+  [[nodiscard]] int fallbacks_taken() const noexcept { return fallbacks_; }
 
   /// ProgressClient: advance at most one round per pass (LibNBC fidelity).
   double poke(mpi::Ctx& ctx) override;
@@ -60,6 +79,8 @@ class Handle : public mpi::ProgressClient {
  private:
   double post_round(std::size_t r);  // returns CPU cost of posting
   void trace_completion();           // emit the op-lifetime span
+  void recover();                    // cancel + restart on the fallback
+  [[nodiscard]] bool any_pending_failed() const;
 
   mpi::Ctx& ctx_;
   mpi::Comm comm_;
@@ -74,6 +95,12 @@ class Handle : public mpi::ProgressClient {
   std::vector<mpi::Request*> pending_ptrs_;
   bool active_ = false;
   bool done_ = true;  // nothing started yet counts as complete
+  Recovery recovery_;
+  int fallbacks_ = 0;
+  // One nbc.op completion span per logical operation, even when a rank
+  // that already finished restarts for a peer's recovery (G1's 1:1
+  // start/completion accounting depends on it).
+  bool completion_emitted_ = false;
 };
 
 }  // namespace nbctune::nbc

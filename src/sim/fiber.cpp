@@ -3,6 +3,10 @@
 #include <cassert>
 #include <stdexcept>
 
+#ifdef NBCTUNE_FIBER_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 #include "trace/trace.hpp"
 
 namespace nbctune::sim {
@@ -20,6 +24,9 @@ Fiber::Fiber(Fn fn, std::size_t stack_bytes)
   ctx_.uc_stack.ss_size = stack_bytes;
   ctx_.uc_link = &return_ctx_;
   makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+#ifdef NBCTUNE_FIBER_ASAN
+  stack_bytes_ = stack_bytes;
+#endif
 }
 
 Fiber::~Fiber() {
@@ -33,12 +40,23 @@ Fiber* Fiber::current() noexcept { return g_current; }
 
 void Fiber::trampoline() {
   Fiber* self = g_current;
+#ifdef NBCTUNE_FIBER_ASAN
+  // First entry: no shadow to restore; record the scheduler's stack so
+  // yield() can announce switches back to it.
+  __sanitizer_finish_switch_fiber(nullptr, &self->sched_stack_bottom_,
+                                  &self->sched_stack_size_);
+#endif
   try {
     self->fn_();
   } catch (...) {
     self->pending_exception_ = std::current_exception();
   }
   self->finished_ = true;
+#ifdef NBCTUNE_FIBER_ASAN
+  // Final departure from this stack: null fake-stack frees the shadow.
+  __sanitizer_start_switch_fiber(nullptr, self->sched_stack_bottom_,
+                                 self->sched_stack_size_);
+#endif
   // uc_link returns to return_ctx_ (inside resume()).
 }
 
@@ -50,7 +68,14 @@ void Fiber::resume() {
   g_current = this;
   running_ = true;
   started_ = true;
+#ifdef NBCTUNE_FIBER_ASAN
+  __sanitizer_start_switch_fiber(&sched_fake_stack_, stack_.get(),
+                                 stack_bytes_);
+#endif
   swapcontext(&return_ctx_, &ctx_);
+#ifdef NBCTUNE_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(sched_fake_stack_, nullptr, nullptr);
+#endif
   running_ = false;
   g_current = prev;
   if (pending_exception_) {
@@ -63,7 +88,15 @@ void Fiber::resume() {
 void Fiber::yield() {
   if (g_current != this || !running_)
     throw std::logic_error("yield() must be called on the running fiber");
+#ifdef NBCTUNE_FIBER_ASAN
+  __sanitizer_start_switch_fiber(&fiber_fake_stack_, sched_stack_bottom_,
+                                 sched_stack_size_);
+#endif
   swapcontext(&ctx_, &return_ctx_);
+#ifdef NBCTUNE_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(fiber_fake_stack_, &sched_stack_bottom_,
+                                  &sched_stack_size_);
+#endif
 }
 
 }  // namespace nbctune::sim

@@ -15,6 +15,17 @@
 
 #include <ucontext.h>
 
+// AddressSanitizer must be told about stack switches, or unwinding on a
+// fiber stack (e.g. an exception thrown by a simulated rank) is reported
+// as stack-use-after-scope.  The annotations below are no-ops otherwise.
+#ifdef __SANITIZE_ADDRESS__
+#define NBCTUNE_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define NBCTUNE_FIBER_ASAN 1
+#endif
+#endif
+
 namespace nbctune::sim {
 
 /// A single cooperatively scheduled fiber.
@@ -66,6 +77,13 @@ class Fiber {
   bool finished_ = false;
   bool running_ = false;
   std::exception_ptr pending_exception_;
+#ifdef NBCTUNE_FIBER_ASAN
+  std::size_t stack_bytes_ = 0;
+  void* sched_fake_stack_ = nullptr;  // scheduler's shadow while in the fiber
+  void* fiber_fake_stack_ = nullptr;  // fiber's shadow while suspended
+  const void* sched_stack_bottom_ = nullptr;
+  std::size_t sched_stack_size_ = 0;
+#endif
 };
 
 }  // namespace nbctune::sim

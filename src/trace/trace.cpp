@@ -79,6 +79,32 @@ const char* ctr_name(Ctr c) noexcept {
       return "adcl.samples_seen";
     case Ctr::AdclSamplesFiltered:
       return "adcl.samples_filtered";
+    case Ctr::AdclEliminations:
+      return "adcl.eliminations";
+    case Ctr::AdclRetunes:
+      return "adcl.retunes";
+    case Ctr::FaultDrops:
+      return "fault.drops";
+    case Ctr::FaultDups:
+      return "fault.dups";
+    case Ctr::FaultDegradedMsgs:
+      return "fault.degraded_msgs";
+    case Ctr::FaultNicStalls:
+      return "fault.nic_stalls";
+    case Ctr::FaultStragglerBursts:
+      return "fault.straggler_bursts";
+    case Ctr::FaultStarvedPasses:
+      return "fault.starved_passes";
+    case Ctr::MsgsAcks:
+      return "msg.acks";
+    case Ctr::MsgsRetransmits:
+      return "msg.retransmits";
+    case Ctr::MsgsDupDeliveries:
+      return "msg.dup_deliveries";
+    case Ctr::MsgsSendFailures:
+      return "msg.send_failures";
+    case Ctr::NbcFallbacks:
+      return "nbc.fallbacks";
     case Ctr::kCount:
       break;
   }

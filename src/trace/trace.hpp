@@ -77,6 +77,19 @@ enum class Ctr : std::uint8_t {
   AdclDecisions,          ///< selection decisions finalized
   AdclSamplesSeen,        ///< samples entering statistical filtering
   AdclSamplesFiltered,    ///< samples discarded by the filter
+  AdclEliminations,       ///< attribute-heuristic pruning steps
+  AdclRetunes,            ///< drift detections that re-opened tuning
+  FaultDrops,             ///< messages dropped by the injector
+  FaultDups,              ///< messages duplicated by the injector
+  FaultDegradedMsgs,      ///< messages shipped through a degradation window
+  FaultNicStalls,         ///< messages delayed by an injected NIC stall
+  FaultStragglerBursts,   ///< compute bursts dilated on a straggler rank
+  FaultStarvedPasses,     ///< progress passes taxed by starvation
+  MsgsAcks,               ///< transport-level acknowledgements shipped
+  MsgsRetransmits,        ///< retransmissions after an RTO expiry
+  MsgsDupDeliveries,      ///< duplicate deliveries discarded by dedup
+  MsgsSendFailures,       ///< sends declared failed (retries exhausted)
+  NbcFallbacks,           ///< ops restarted on the fallback algorithm
   kCount,
 };
 [[nodiscard]] const char* ctr_name(Ctr c) noexcept;
