@@ -9,6 +9,7 @@
 #include "adcl/functionsets.hpp"
 #include "adcl/selection.hpp"
 #include "coll/ialltoall.hpp"
+#include "harness/microbench.hpp"
 #include "harness/scenario_pool.hpp"
 #include "mpi/world.hpp"
 #include "nbc/handle.hpp"
@@ -235,6 +236,34 @@ static void BM_AlltoallSchedule(benchmark::State& state) {
   state.SetLabel("messages simulated/s");
 }
 BENCHMARK(BM_AlltoallSchedule)->Arg(32)->Arg(128);
+
+// Execution-mode cost: the same pinned micro-benchmark loop under fiber
+// execution (ucontext switch per blocking point) vs machine execution
+// (state-machine step per engine event, zero fibers).  Outputs are
+// byte-identical (test_exec); this measures the host-side cost delta and
+// bounds how much of a sweep's wall-clock the context switches are.
+static void BM_ExecModeLoop(benchmark::State& state) {
+  const auto mode = static_cast<harness::ExecMode>(state.range(0));
+  harness::MicroScenario s;
+  s.platform = net::crill();
+  s.nprocs = 64;
+  s.op = harness::OpKind::Ibcast;
+  s.bytes = 4096;
+  s.compute_per_iter = 100e-6;
+  s.iterations = 4;
+  s.progress_calls = 2;
+  s.noise_scale = 0.0;
+  s.exec = mode;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness::run_fixed(s, 0).loop_time);
+  }
+  state.SetItemsProcessed(state.iterations() * s.nprocs * s.iterations);
+  state.SetLabel(std::string("rank-iterations/s (") +
+                 harness::exec_name(mode) + " mode)");
+}
+BENCHMARK(BM_ExecModeLoop)
+    ->Arg(static_cast<int>(harness::ExecMode::Fiber))
+    ->Arg(static_cast<int>(harness::ExecMode::Machine));
 
 static void BM_SelectionPolicy(benchmark::State& state) {
   const auto kind = static_cast<adcl::PolicyKind>(state.range(0));

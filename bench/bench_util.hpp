@@ -7,6 +7,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,10 +32,17 @@ namespace nbctune::bench {
 /// decision audit and the performance guidelines — and prints it to
 /// stderr (table) or writes it with `--report-out <file>`.  All exports
 /// are byte-deterministic at any thread count and never touch stdout.
+/// `--exec=fiber|machine` selects the execution mode for fixed runs
+/// (machine: fiberless state machines, scales to 100k+ ranks; outputs
+/// byte-identical to fiber mode wherever both run).  `--fiber-stack N`
+/// sets the per-fiber stack in bytes (fiber mode only; default 256 KiB
+/// or NBCTUNE_FIBER_STACK).
 struct Scale {
   enum class ReportMode { None, Table, Json };
   bool full = false;
   int threads = 0;  ///< 0 = auto (NBCTUNE_THREADS, then hardware)
+  harness::ExecMode exec = harness::ExecMode::Fiber;
+  std::size_t fiber_stack = 0;  ///< 0 = sim default
   std::string trace_path;     ///< Chrome trace-event JSON output, if set
   std::string counters_path;  ///< flat counter dump output, if set
   ReportMode report = ReportMode::None;
@@ -68,6 +76,20 @@ struct Scale {
       if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
         s.report_path = argv[++i];
         if (s.report == ReportMode::None) s.report = ReportMode::Json;
+      }
+      if (std::strncmp(argv[i], "--exec=", 7) == 0) {
+        const std::string mode = argv[i] + 7;
+        if (mode == "fiber") {
+          s.exec = harness::ExecMode::Fiber;
+        } else if (mode == "machine") {
+          s.exec = harness::ExecMode::Machine;
+        } else {
+          throw std::invalid_argument("--exec: expected fiber or machine, got " +
+                                      mode);
+        }
+      }
+      if (std::strcmp(argv[i], "--fiber-stack") == 0 && i + 1 < argc) {
+        s.fiber_stack = static_cast<std::size_t>(std::atoll(argv[++i]));
       }
     }
     return s;
@@ -141,6 +163,12 @@ class Driver {
   /// Wall-clock scope for the sweep phase (stderr only).
   [[nodiscard]] SweepTimer timer() const {
     return SweepTimer(name_ + " sweep", pool_.threads());
+  }
+
+  /// Apply the execution-mode flags to a scenario (--exec, --fiber-stack).
+  void configure(harness::MicroScenario& s) const noexcept {
+    s.exec = scale_.exec;
+    s.fiber_stack_bytes = scale_.fiber_stack;
   }
 
  private:

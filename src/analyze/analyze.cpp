@@ -67,6 +67,13 @@ LabelKey parse_label(const std::string& label) {
   k.nprocs = std::atoi(np.c_str() + 2);
   k.bytes = std::strtoull(by.substr(0, by.size() - 1).c_str(), nullptr, 10);
   k.what = tok[4];
+  // Suffixes append in order "<what>[+plan=NAME][+exec=MODE]", so strip
+  // the exec tag first or it would be swallowed into the plan name.
+  const std::size_t exec = k.what.find("+exec=");
+  if (exec != std::string::npos) {
+    k.exec = k.what.substr(exec + 6);
+    k.what.resize(exec);
+  }
   const std::size_t plan = k.what.find("+plan=");
   if (plan != std::string::npos) {
     k.plan = k.what.substr(plan + 6);
@@ -79,6 +86,7 @@ std::string LabelKey::group() const {
   std::string g = op + " " + platform + " np" + std::to_string(nprocs) +
                   " " + std::to_string(bytes) + "B";
   if (!plan.empty()) g += " plan=" + plan;
+  if (!exec.empty()) g += " exec=" + exec;
   return g;
 }
 
@@ -86,6 +94,7 @@ std::string LabelKey::size_group() const {
   std::string g =
       op + " " + platform + " np" + std::to_string(nprocs) + " " + what;
   if (!plan.empty()) g += " plan=" + plan;
+  if (!exec.empty()) g += " exec=" + exec;
   return g;
 }
 
@@ -730,6 +739,14 @@ Report analyze(const std::vector<ScenarioTrace>& traces,
     sr.ranks = analyze_overlap(ix);
     sr.adcl = analyze_adcl(t);
     sr.faults = analyze_faults(t);
+    {
+      auto ctr = [&](const char* name) -> std::uint64_t {
+        auto it = t.counters.find(name);
+        return it == t.counters.end() ? 0 : it->second;
+      };
+      sr.fibers_created = ctr("sim.fibers_created");
+      sr.peak_arena_bytes = ctr("world.peak_arena_bytes");
+    }
 
     // Post-decision performance: ops starting after the decision event.
     sr.post_decision_op_elapsed = sr.mean_op_elapsed;

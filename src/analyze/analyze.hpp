@@ -203,6 +203,11 @@ struct ScenarioReport {
   std::vector<RankOverlap> ranks;
   AdclAudit adcl;
   FaultSummary faults;
+  /// Execution-resource counters from the per-scenario trace (0 when the
+  /// trace predates them): fibers constructed (0 for machine-mode runs)
+  /// and the World's flat per-rank arena footprint at destruction.
+  std::uint64_t fibers_created = 0;
+  std::uint64_t peak_arena_bytes = 0;
 };
 
 /// Outcome of one performance-guideline check.
@@ -262,8 +267,10 @@ void write_table(std::ostream& os, const Report& report);
 /// Parsed scenario label: "<op> <platform> np<N> <bytes>B <what>"
 /// (microbench convention; see harness/microbench.cpp).  A fault plan
 /// rides in the last token as "<what>+plan=<name>" and is split off into
-/// `plan`.  `valid` is false for labels of other shapes (e.g. the FFT
-/// benches), which then only participate in the universal guideline G1.
+/// `plan`; a non-default execution mode rides after it as "+exec=<mode>"
+/// and is split off into `exec`.  `valid` is false for labels of other
+/// shapes (e.g. the FFT benches), which then only participate in the
+/// universal guideline G1.
 struct LabelKey {
   bool valid = false;
   std::string op;
@@ -272,6 +279,7 @@ struct LabelKey {
   std::uint64_t bytes = 0;
   std::string what;  ///< "fixed:<impl>" or "adcl:<policy>"
   std::string plan;  ///< fault-plan name; empty = fault-free
+  std::string exec;  ///< execution-mode tag; empty = fiber (untagged)
   /// Group key ignoring the what part (G2/G3 compare within a group).
   /// Includes the plan: faulted runs only compare against equally
   /// faulted references.

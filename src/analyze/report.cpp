@@ -133,6 +133,10 @@ void write_json(std::ostream& os, const Report& report) {
          << ",\"fallbacks\":" << s.faults.fallbacks
          << ",\"stragglers\":" << s.faults.stragglers << "}";
     }
+    if (s.fibers_created > 0 || s.peak_arena_bytes > 0) {
+      os << ",\"exec\":{\"fibers_created\":" << s.fibers_created
+         << ",\"peak_arena_bytes\":" << s.peak_arena_bytes << "}";
+    }
     os << "}";
   }
   os << "\n]";
@@ -250,6 +254,11 @@ void write_table(std::ostream& os, const Report& report) {
          << f.retransmits << ", send-failures " << f.send_failures
          << ", fallbacks " << f.fallbacks << ", stragglers " << f.stragglers
          << "\n";
+    }
+    if (s.fibers_created > 0 || s.peak_arena_bytes > 0) {
+      os << "  exec: fibers " << s.fibers_created << ", peak arena "
+         << s.peak_arena_bytes << " B"
+         << (s.fibers_created == 0 ? " (machine mode)" : "") << "\n";
     }
   }
   os << "\n== guidelines ==\n";

@@ -1,0 +1,261 @@
+#include "exec/machine_runner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace nbctune::exec {
+
+MachineRunner::MachineRunner(mpi::World& world, MachineSpec spec)
+    : world_(world), engine_(world.engine()), spec_(std::move(spec)) {
+  if (!spec_.make_request) {
+    throw std::invalid_argument("MachineRunner: no make_request");
+  }
+  const auto n = static_cast<std::size_t>(world_.size());
+  sms_.resize(n);
+  ranks_.resize(n);
+  world_.launch_machine(*this);
+}
+
+MachineRunner::~MachineRunner() = default;
+
+std::size_t MachineRunner::arena_bytes() const noexcept {
+  return sms_.capacity() * sizeof(RankSM);
+}
+
+void MachineRunner::start() {
+  // Rank order 0..N-1, like Engine::launch_pending() starts fibers.
+  for (int w = 0; w < world_.size(); ++w) run(w);
+}
+
+void MachineRunner::check_finished() const {
+  for (std::size_t w = 0; w < sms_.size(); ++w) {
+    if (!sms_[w].finished) {
+      throw sim::Engine::DeadlockError(
+          "simulated deadlock: event queue empty but machine-mode rank " +
+          std::to_string(w) + " has not completed its loop");
+    }
+  }
+}
+
+void MachineRunner::on_wake(int wrank) {
+  // Byte-for-byte replica of sim::Process::wake().
+  RankSM& sm = sms_[wrank];
+  if (sm.running || sm.finished) return;
+  if (!sm.suspended) {
+    // Sleeping (a charge/compute resume is queued) or mid-phase: remember
+    // the wake so the next suspend point returns immediately.
+    sm.wake_pending = true;
+    return;
+  }
+  if (sm.wake_pending) return;  // a resume event is already queued
+  sm.wake_pending = true;
+  engine_.schedule_after(0.0, [this, wrank] {
+    RankSM& s = sms_[wrank];
+    if (s.suspended) {
+      s.wake_pending = false;
+      s.suspended = false;
+      run(wrank);
+    }
+    // No longer suspended (e.g. finished meanwhile): drop the wake.
+  });
+}
+
+void MachineRunner::run(int w) {
+  RankSM& sm = sms_[w];
+  sm.running = true;
+  while (step(w)) {
+  }
+  sm.running = false;
+}
+
+bool MachineRunner::block_sleep(int w, double dt) {
+  // sim::Process::sleep semantics.
+  if (dt < 0) throw std::invalid_argument("machine sleep: negative dt");
+  if (dt == 0) return false;
+  engine_.schedule_after(dt, [this, w] { run(w); });
+  return true;
+}
+
+bool MachineRunner::block_charge(int w, double cost) {
+  // Ctx::charge semantics: no-op for non-positive costs, jittered sleep
+  // otherwise (the jitter draw happens iff the fiber path would draw).
+  if (cost <= 0.0) return false;
+  return block_sleep(w, world_.jitter(w, cost));
+}
+
+bool MachineRunner::step(int w) {
+  RankSM& sm = sms_[w];
+  Rank& rk = ranks_[w];
+  mpi::Ctx& ctx = world_.rank_ctx(w);
+  switch (sm.phase) {
+    case Phase::Setup: {
+      rk.req = spec_.make_request(ctx, rk.sbuf, rk.rbuf);
+      rk.timer = std::make_unique<adcl::Timer>(
+          ctx, std::vector<adcl::Request*>{rk.req.get()});
+      sm.t0 = ctx.now();
+      sm.phase = Phase::IterStart;
+      return true;
+    }
+
+    case Phase::IterStart: {
+      if (sm.iter >= spec_.iterations) {
+        sm.phase = Phase::Finish;
+        return true;
+      }
+      sm.decided_before = rk.req->selection().decided();
+      rk.timer->start();
+      rk.handle = rk.req->init_begin();
+      const double cost = rk.handle->start_begin();
+      if (rk.handle->done()) {
+        // Empty schedule: completed inside start_begin, nothing charged.
+        sm.phase = Phase::AfterInit;
+        return true;
+      }
+      sm.phase = Phase::StartCascade;
+      return !block_charge(w, cost);
+    }
+
+    case Phase::StartCascade: {
+      const double extra = rk.handle->start_cascade();
+      sm.phase = Phase::StartFinish;
+      return !block_charge(w, extra);
+    }
+
+    case Phase::StartFinish: {
+      rk.handle->start_finish();
+      sm.phase = Phase::AfterInit;
+      return true;
+    }
+
+    case Phase::AfterInit: {
+      if (rk.req->bound_blocking()) {
+        // Blocking function-set member: the fiber path waits inside
+        // init(); the wait loop always runs at least one progress pass.
+        sm.wait_ret = Phase::ComputeStep;
+        sm.pc_idx = 0;
+        sm.phase = Phase::WaitPass;
+      } else {
+        sm.pc_idx = 0;
+        sm.phase = Phase::ComputeStep;
+      }
+      return true;
+    }
+
+    case Phase::ComputeStep: {
+      const int pc = spec_.progress_calls > 1 ? spec_.progress_calls : 1;
+      if (sm.pc_idx >= pc) {
+        // req->wait(): the handle wait loop, then wait_finish at IterEnd.
+        sm.wait_ret = Phase::IterEnd;
+        sm.phase = Phase::WaitPass;
+        return true;
+      }
+      const double per = spec_.compute_per_iter / pc;
+      if (per < 0.0) throw std::invalid_argument("compute: negative time");
+      if (per == 0.0) {
+        // Ctx::compute(0) returns without draws or a span.
+        sm.phase = Phase::ComputeDone;
+        sm.compute_t0 = ctx.now();
+        return true;
+      }
+      const double t = ctx.compute_cost(per);
+      sm.compute_t0 = ctx.now();
+      sm.phase = Phase::ComputeDone;
+      return !block_sleep(w, t);
+    }
+
+    case Phase::ComputeDone: {
+      const double per =
+          spec_.compute_per_iter /
+          (spec_.progress_calls > 1 ? spec_.progress_calls : 1);
+      if (per > 0.0 && trace::active()) {
+        trace::span(sm.compute_t0, ctx.now() - sm.compute_t0, w,
+                    trace::Cat::Progress, "compute");
+      }
+      if (spec_.progress_calls > 0) {
+        rk.req->note_progress();
+        sm.pass_t0 = ctx.now();
+        sm.pass_cost = ctx.progress_work(true);
+        sm.phase = Phase::ProgressDone;
+        return !block_charge(w, sm.pass_cost);
+      }
+      ++sm.pc_idx;
+      sm.phase = Phase::ComputeStep;
+      return true;
+    }
+
+    case Phase::ProgressDone: {
+      if (sm.pass_cost > 0.0 && trace::active()) {
+        trace::span(sm.pass_t0, ctx.now() - sm.pass_t0, w,
+                    trace::Cat::Progress, "progress.call");
+      }
+      ++sm.pc_idx;
+      sm.phase = Phase::ComputeStep;
+      return true;
+    }
+
+    case Phase::WaitPass: {
+      sm.pass_t0 = ctx.now();
+      sm.pass_cost = ctx.progress_work(false);
+      sm.phase = Phase::WaitCheck;
+      return !block_charge(w, sm.pass_cost);
+    }
+
+    case Phase::WaitCheck: {
+      if (sm.pass_cost > 0.0 && trace::active()) {
+        trace::span(sm.pass_t0, ctx.now() - sm.pass_t0, w,
+                    trace::Cat::Progress, "progress.pass");
+      }
+      if (rk.handle->done()) {
+        sm.phase = sm.wait_ret;
+        return true;
+      }
+      // sim::Process::suspend(): consume a pending wake, else block until
+      // on_wake schedules the resume.
+      sm.phase = Phase::WaitPass;
+      if (sm.wake_pending) {
+        sm.wake_pending = false;
+        return true;
+      }
+      sm.suspended = true;
+      return false;
+    }
+
+    case Phase::IterEnd: {
+      rk.req->wait_finish();
+      rk.timer->stop();
+      if (sm.decided_before) ++sm.post_iters;
+      ++sm.iter;
+      sm.phase = Phase::IterStart;
+      return true;
+    }
+
+    case Phase::Finish: {
+      const double t_end = ctx.now();
+      if (w == 0) {
+        auto& sel = rk.req->selection();
+        const double decision_t =
+            sel.decided() ? sel.decision_time()
+                          : std::numeric_limits<double>::quiet_NaN();
+        outcome_.loop_time = t_end - sm.t0;
+        outcome_.impl =
+            sel.decided() ? rk.req->current_function().name : "<undecided>";
+        outcome_.decision_iteration = sel.decision_iteration();
+        outcome_.decision_time = decision_t;
+        outcome_.post_decision_iterations = sm.post_iters;
+        outcome_.post_decision_time =
+            std::isnan(decision_t)
+                ? 0.0
+                : t_end - (decision_t > sm.t0 ? decision_t : sm.t0);
+      }
+      sm.finished = true;
+      return false;
+    }
+  }
+  return false;  // unreachable
+}
+
+}  // namespace nbctune::exec

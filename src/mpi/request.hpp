@@ -80,6 +80,11 @@ struct Request {
 /// growth (hot paths cache Request*) with vector-like locality.
 class RequestPool {
  public:
+  // The first chunk is deliberately tiny: collective rounds keep only a
+  // handful of requests in flight per rank, and at 100k+ ranks a 256-slot
+  // first chunk per pool would dominate world memory.  Pools that do grow
+  // past it switch to full-size chunks.
+  static constexpr std::uint32_t kFirstChunkSize = 8;
   static constexpr std::uint32_t kChunkShift = 8;
   static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
 
@@ -91,8 +96,9 @@ class RequestPool {
       free_.pop_back();
     } else {
       idx = size_++;
-      if ((idx >> kChunkShift) >= chunks_.size()) {
-        chunks_.push_back(std::make_unique<Request[]>(kChunkSize));
+      if (chunk_of(idx) >= chunks_.size()) {
+        chunks_.push_back(std::make_unique<Request[]>(
+            chunks_.empty() ? kFirstChunkSize : kChunkSize));
       }
     }
     Request& r = slot(idx);
@@ -141,12 +147,30 @@ class RequestPool {
     return size_ - free_.size();
   }
 
+  /// Bytes held by allocated request slots (arena accounting).
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    if (chunks_.empty()) return 0;
+    return (kFirstChunkSize + (chunks_.size() - 1) * kChunkSize) *
+           sizeof(Request);
+  }
+
  private:
+  static constexpr std::uint32_t chunk_of(std::uint32_t idx) noexcept {
+    return idx < kFirstChunkSize
+               ? 0
+               : 1 + ((idx - kFirstChunkSize) >> kChunkShift);
+  }
   Request& slot(std::uint32_t idx) noexcept {
-    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+    return idx < kFirstChunkSize
+               ? chunks_[0][idx]
+               : chunks_[chunk_of(idx)][(idx - kFirstChunkSize) &
+                                        (kChunkSize - 1)];
   }
   const Request& slot(std::uint32_t idx) const noexcept {
-    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+    return idx < kFirstChunkSize
+               ? chunks_[0][idx]
+               : chunks_[chunk_of(idx)][(idx - kFirstChunkSize) &
+                                        (kChunkSize - 1)];
   }
 
   std::vector<std::unique_ptr<Request[]>> chunks_;

@@ -39,13 +39,15 @@ World::World(sim::Engine& engine, net::Machine& machine, WorldOptions options)
       options_.nprocs > p.total_cores()) {
     throw std::invalid_argument("World: more ranks than cores on " + p.name);
   }
-  ranks_.reserve(options_.nprocs);
+  // One flat contiguous arena for all per-rank library state; sized once,
+  // never resized, so RankState addresses stay stable for the lifetime of
+  // the world.
+  ranks_ = std::vector<RankState>(static_cast<std::size_t>(options_.nprocs));
   for (int r = 0; r < options_.nprocs; ++r) {
-    ranks_.push_back(std::make_unique<RankState>());
-    ranks_.back()->node = node_of(r);
+    ranks_[r].node = node_of(r);
     // Per-rank noise stream: seeded from (scenario seed, rank) only, so
     // jitter draws never depend on global event interleaving.
-    ranks_.back()->noise_rng.reseed(
+    ranks_[r].noise_rng.reseed(
         options_.seed ^
         (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(r + 1)));
   }
@@ -62,7 +64,17 @@ World::World(sim::Engine& engine, net::Machine& machine, WorldOptions options)
   world_comm_ = Comm(this, world_comm_data_);
 }
 
-World::~World() = default;
+World::~World() {
+  // Report the arena footprint while the scenario's tracer is still
+  // installed (the World dies before the enclosing trace::Scope).
+  trace::count(trace::Ctr::WorldPeakArenaBytes, arena_bytes());
+}
+
+std::size_t World::arena_bytes() const noexcept {
+  std::size_t bytes = ranks_.capacity() * sizeof(RankState);
+  for (const RankState& rs : ranks_) bytes += rs.pool.capacity_bytes();
+  return bytes;
+}
 
 int World::node_of(int wrank) const {
   const auto& p = machine_.platform();
@@ -76,13 +88,22 @@ void World::launch(std::function<void(Ctx&)> program) {
   for (int r = 0; r < options_.nprocs; ++r) {
     ctxs_.push_back(std::make_unique<Ctx>(*this, r));
     Ctx* ctx = ctxs_.back().get();
-    RankState& rs = *ranks_[r];
+    RankState& rs = ranks_[r];
     rs.ctx = ctx;
     sim::Process& p = engine_.add_process(
         "rank" + std::to_string(r),
         [ctx, program](sim::Process&) { program(*ctx); },
         options_.fiber_stack_bytes);
     rs.process = &p;
+  }
+}
+
+void World::launch_machine(MachineDriver& driver) {
+  driver_ = &driver;
+  for (int r = 0; r < options_.nprocs; ++r) {
+    ctxs_.push_back(std::make_unique<Ctx>(*this, r));
+    ranks_[r].ctx = ctxs_.back().get();
+    // No Process: the driver advances this rank's state machine in place.
   }
 }
 
@@ -97,27 +118,34 @@ double World::jitter(int wrank, double cost) {
   const double sigma =
       machine_.platform().noise.rel_sigma * options_.noise_scale;
   if (sigma <= 0.0 || cost <= 0.0) return cost;
-  const double f = 1.0 + sigma * ranks_[wrank]->noise_rng.normal();
+  const double f = 1.0 + sigma * ranks_[wrank].noise_rng.normal();
   return cost * std::max(0.0, f);
 }
 
 std::uint64_t World::total_data_msgs() const noexcept {
   std::uint64_t n = 0;
-  for (const auto& r : ranks_) n += r->data_msgs;
+  for (const auto& r : ranks_) n += r.data_msgs;
   return n;
 }
 std::uint64_t World::total_ctrl_msgs() const noexcept {
   std::uint64_t n = 0;
-  for (const auto& r : ranks_) n += r->ctrl_msgs;
+  for (const auto& r : ranks_) n += r.ctrl_msgs;
   return n;
 }
 
-void World::notify(int wrank) { ranks_[wrank]->process->wake(); }
+void World::notify(int wrank) {
+  RankState& rs = ranks_[wrank];
+  if (rs.process != nullptr) {
+    rs.process->wake();
+  } else {
+    driver_->on_wake(wrank);
+  }
+}
 
 sim::Time World::ship(Envelope env, sim::Time earliest) {
-  RankState& src = *ranks_[env.src];
+  RankState& src = ranks_[env.src];
   const int src_node = src.node;
-  const int dst_node = ranks_[env.dst]->node;
+  const int dst_node = ranks_[env.dst].node;
   const auto& p = machine_.platform();
   env.seq = ++next_msg_seq_;
   const std::size_t wire_bytes =
@@ -260,7 +288,7 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
 
 void World::deliver(Envelope env) {
   const int dst_rank = env.dst;
-  RankState& dst = *ranks_[dst_rank];
+  RankState& dst = ranks_[dst_rank];
   if (lossy_) {
     if (env.kind == Envelope::Kind::Ack) {
       handle_ack(env);
@@ -268,7 +296,7 @@ void World::deliver(Envelope env) {
     }
     // Tracked (acked) messages: inter-node data-plane envelopes carrying
     // a match id (the reliable control plane is neither acked nor deduped).
-    if (env.match_id != 0 && ranks_[env.src]->node != dst.node &&
+    if (env.match_id != 0 && ranks_[env.src].node != dst.node &&
         env.tag < kReliableTagBase) {
       const auto key = std::make_tuple(static_cast<std::uint8_t>(env.kind),
                                        env.src, env.match_id);
@@ -303,9 +331,9 @@ void World::start_nic_bulk(int src, int dst, Req sreq, std::uint64_t dst_match,
                            std::size_t bytes, const void* sbuf,
                            sim::Time earliest) {
   const auto& p = machine_.platform();
-  RankState& srs = *ranks_[src];
+  RankState& srs = ranks_[src];
   const int src_node = srs.node;
-  const int dst_node = ranks_[dst]->node;
+  const int dst_node = ranks_[dst].node;
   ++srs.data_msgs;
   const std::uint64_t seq = ++next_msg_seq_;
   trace::count(trace::Ctr::MsgsNicBulks);
@@ -369,7 +397,7 @@ void World::start_nic_bulk(int src, int dst, Req sreq, std::uint64_t dst_match,
                      seq32);
     }
     complete_request(dst, dst_match, sbuf);
-    RankState& rs = *ranks_[src];
+    RankState& rs = ranks_[src];
     if (!rs.pool.live(sreq)) return;
     Request& r = rs.pool.get(sreq);
     r.complete = true;
@@ -380,7 +408,7 @@ void World::start_nic_bulk(int src, int dst, Req sreq, std::uint64_t dst_match,
 
 void World::complete_request(int wrank, std::uint64_t match_id,
                              const void* deliver_from) {
-  RankState& rs = *ranks_[wrank];
+  RankState& rs = ranks_[wrank];
   Request& r = rs.pool.at(match_index(match_id));
   if (r.generation != match_gen(match_id)) return;  // cancelled/stale
   if (r.timer_id != 0) {
@@ -398,13 +426,13 @@ void World::complete_request(int wrank, std::uint64_t match_id,
 // ------------------------------------------------- resilience (lossy plans)
 
 void World::arm_retransmit(int wrank, Req h) {
-  Request& r = ranks_[wrank]->pool.get(h);
+  Request& r = ranks_[wrank].pool.get(h);
   r.timer_id =
       engine_.schedule_after(r.rto, [this, wrank, h] { on_rto(wrank, h); });
 }
 
 void World::on_rto(int wrank, Req h) {
-  RankState& rs = *ranks_[wrank];
+  RankState& rs = ranks_[wrank];
   if (!rs.pool.live(h)) return;
   Request& r = rs.pool.get(h);
   r.timer_id = 0;
@@ -471,7 +499,7 @@ Envelope World::rebuild_envelope(int wrank, Req h, const Request& r) {
 }
 
 void World::handle_ack(const Envelope& env) {
-  RankState& rs = *ranks_[env.dst];
+  RankState& rs = ranks_[env.dst];
   const Req h{match_index(env.match_id), match_gen(env.match_id)};
   if (!rs.pool.live(h)) return;
   Request& r = rs.pool.get(h);
@@ -510,14 +538,23 @@ void World::send_ack(const Envelope& env) {
 
 Ctx::Ctx(World& world, int wrank) : world_(world), wrank_(wrank) {}
 
+namespace {
+[[noreturn]] void throw_machine_block(int wrank) {
+  throw std::logic_error(
+      "mpi: machine-mode rank " + std::to_string(wrank) +
+      " entered a blocking Ctx call; fiberless ranks must be driven through "
+      "the non-blocking execution surface (progress_work/compute_cost)");
+}
+}  // namespace
+
 void Ctx::charge(double seconds) {
   if (seconds <= 0.0) return;
-  st().process->sleep(world_.jitter(wrank_, seconds));
+  sim::Process* p = st().process;
+  if (p == nullptr) throw_machine_block(wrank_);
+  p->sleep(world_.jitter(wrank_, seconds));
 }
 
-void Ctx::compute(double seconds) {
-  if (seconds < 0.0) throw std::invalid_argument("compute: negative time");
-  if (seconds == 0.0) return;
+double Ctx::compute_cost(double seconds) {
   double t = world_.jitter(wrank_, seconds);
   const auto& noise = world_.platform().noise;
   const double scale = world_.options().noise_scale;
@@ -537,8 +574,17 @@ void Ctx::compute(double seconds) {
       }
     }
   }
+  return t;
+}
+
+void Ctx::compute(double seconds) {
+  if (seconds < 0.0) throw std::invalid_argument("compute: negative time");
+  if (seconds == 0.0) return;
+  sim::Process* p = st().process;
+  if (p == nullptr) throw_machine_block(wrank_);
+  const double t = compute_cost(seconds);
   const sim::Time t0 = now();
-  st().process->sleep(t);
+  p->sleep(t);
   if (trace::active()) {
     trace::span(t0, now() - t0, wrank_, trace::Cat::Progress, "compute");
   }
@@ -581,7 +627,7 @@ Req Ctx::post_isend(const Comm& comm, const void* buf, std::size_t bytes,
   ++rs.outstanding;
 
   const bool eager = bytes <= p.eager_limit;
-  const bool same_node = rs.node == world_.ranks_[dst_w]->node;
+  const bool same_node = rs.node == world_.ranks_[dst_w].node;
 
   Envelope env;
   env.src = wrank_;
@@ -624,7 +670,7 @@ Req Ctx::post_isend(const Comm& comm, const void* buf, std::size_t bytes,
       r.state = ReqState::EagerInFlight;
       const int self = wrank_;
       world_.engine().schedule_at(local_done, [w = &world_, self, h] {
-        RankState& s = *w->ranks_[self];
+        RankState& s = w->ranks_[self];
         if (!s.pool.live(h)) return;
         Request& rr = s.pool.get(h);
         rr.complete = true;
@@ -722,7 +768,7 @@ bool Ctx::try_match_unexpected(Req rh, double& cpu_cost) {
   }
   if (env.kind == Envelope::Kind::Eager) {
     const auto& p = world_.platform();
-    cpu_cost += (rs.node == world_.ranks_[env.src]->node
+    cpu_cost += (rs.node == world_.ranks_[env.src].node
                      ? p.intra.recv_overhead
                      : p.inter.recv_overhead) +
                 static_cast<double>(env.bytes) * p.copy_byte_time;
@@ -745,8 +791,8 @@ void Ctx::send_cts(const Envelope& rts, Req rh, double& cpu_cost) {
   Request& r = rs.pool.get(rh);
   const auto& p = world_.platform();
   cpu_cost += p.ctrl_overhead +
-              (rs.node == world_.ranks_[rts.src]->node ? p.intra.recv_overhead
-                                                       : p.inter.recv_overhead);
+              (rs.node == world_.ranks_[rts.src].node ? p.intra.recv_overhead
+                                                      : p.inter.recv_overhead);
   r.peer = rts.src;
   r.bytes = rts.bytes;  // actual message size (<= posted buffer size)
   r.status = Status{rts.src, rts.tag, rts.bytes};
@@ -762,7 +808,7 @@ void Ctx::send_cts(const Envelope& rts, Req rh, double& cpu_cost) {
   cts.match_id = rts.match_id;        // sender request
   cts.peer_match_id = pack_match(rh); // this (receiver) request
   world_.ship(std::move(cts), now() + cpu_cost);
-  if (world_.lossy() && rs.node != world_.ranks_[rts.src]->node &&
+  if (world_.lossy() && rs.node != world_.ranks_[rts.src].node &&
       rts.tag < kReliableTagBase) {
     // Track the CTS for retransmission; stash the sender's match id (the
     // receive side does not otherwise use the field) so the control
@@ -795,7 +841,7 @@ void Ctx::handle_envelope(Envelope& env, double& cpu_cost) {
     r.peer_match_id = env.peer_match_id;
     const auto& p = world_.platform();
     cpu_cost += p.ctrl_overhead;
-    const bool same_node = rs.node == world_.ranks_[env.src]->node;
+    const bool same_node = rs.node == world_.ranks_[env.src].node;
     const bool cpu_driven = p.cpu_driven_bulk || same_node;
     if (cpu_driven) {
       // Bulk pushed by this CPU in chunks from subsequent progress passes.
@@ -862,7 +908,7 @@ void Ctx::handle_envelope(Envelope& env, double& cpu_cost) {
   }
   if (env.kind == Envelope::Kind::Eager) {
     const auto& p = world_.platform();
-    cpu_cost += (rs.node == world_.ranks_[env.src]->node
+    cpu_cost += (rs.node == world_.ranks_[env.src].node
                      ? p.intra.recv_overhead
                      : p.inter.recv_overhead) +
                 static_cast<double>(env.bytes) * p.copy_byte_time;
@@ -896,7 +942,7 @@ void Ctx::push_chunks(double& cpu_cost) {
     const std::size_t chunk = std::min(p.bulk_chunk, r.bytes - r.cursor);
     cpu_cost += bulk_chunk_cost(chunk);
     const int dst = r.peer;
-    const int dst_node = world_.ranks_[dst]->node;
+    const int dst_node = world_.ranks_[dst].node;
     const bool same_node = rs.node == dst_node;
     world_.machine().add_inflight(dst_node);
     sim::Time drain_end, arrival;
@@ -949,7 +995,7 @@ void Ctx::push_chunks(double& cpu_cost) {
     const Req h = v[i];
     const int self = wrank_;
     world_.engine().schedule_at(drain_end, [w = &world_, self, h] {
-      RankState& s = *w->ranks_[self];
+      RankState& s = w->ranks_[self];
       if (!s.pool.live(h)) return;
       s.pool.get(h).chunk_in_flight = false;
       w->notify(self);  // wake to push the next chunk if blocked in wait
@@ -968,7 +1014,7 @@ void Ctx::push_chunks(double& cpu_cost) {
         // Receiver gets the data...
         w->complete_request(dst, dst_match, sbuf);
         // ...and the sender completes (socket drained / copy done).
-        RankState& s = *w->ranks_[self];
+        RankState& s = w->ranks_[self];
         if (!s.pool.live(h)) return;
         Request& rr = s.pool.get(h);
         rr.complete = true;
@@ -982,16 +1028,15 @@ void Ctx::push_chunks(double& cpu_cost) {
   }
 }
 
-void Ctx::progress_pass(bool explicit_call) {
+double Ctx::progress_work(bool explicit_call) {
   RankState& rs = st();
   const auto& p = world_.platform();
   trace::count(trace::Ctr::ProgressPasses);
   if (explicit_call) trace::count(trace::Ctr::ProgressCallsExplicit);
-  const sim::Time t0 = now();
   double cost = explicit_call ? p.progress_cost : 0.0;
   cost += p.per_req_poll_cost * static_cast<double>(rs.outstanding);
   if (fault::Injector* inj = world_.injector()) {
-    const double penalty = inj->starvation_penalty(wrank_, t0);
+    const double penalty = inj->starvation_penalty(wrank_, now());
     if (penalty > 0.0) {
       cost += penalty;
       trace::count(trace::Ctr::FaultStarvedPasses);
@@ -1007,6 +1052,12 @@ void Ctx::progress_pass(bool explicit_call) {
   for (std::size_t i = 0; i < rs.clients.size(); ++i) {
     cost += rs.clients[i]->poke(*this);
   }
+  return cost;
+}
+
+void Ctx::progress_pass(bool explicit_call) {
+  const sim::Time t0 = now();
+  const double cost = progress_work(explicit_call);
   charge(cost);
   if (cost > 0.0 && trace::active()) {
     trace::span(t0, now() - t0, wrank_, trace::Cat::Progress,
@@ -1054,6 +1105,7 @@ void Ctx::observe(Req& h, Status* status) {
 
 template <typename Pred>
 void Ctx::block_until(Pred&& pred) {
+  if (st().process == nullptr) throw_machine_block(wrank_);
   progress_pass(false);
   while (!pred()) {
     st().process->suspend();

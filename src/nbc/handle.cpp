@@ -99,7 +99,7 @@ double Handle::post_round(std::size_t r) {
   return cost;
 }
 
-void Handle::start() {
+double Handle::start_begin() {
   if (active_) throw std::logic_error("start() while operation in flight");
   round_ = 0;
   completion_emitted_ = false;
@@ -117,10 +117,12 @@ void Handle::start() {
   pending_ptrs_.clear();
   if (done_) {
     trace_completion();
-    return;
+    return 0.0;
   }
-  double cost = post_round(0);
-  ctx_.charge(cost);
+  return post_round(0);
+}
+
+double Handle::start_cascade() {
   // A schedule whose first rounds are local-only completes them here.
   double extra = 0.0;
   while (!done_ && pending_.empty()) {
@@ -131,8 +133,19 @@ void Handle::start() {
     }
     extra += post_round(round_);
   }
-  ctx_.charge(extra);
+  return extra;
+}
+
+void Handle::start_finish() {
   if (done_) trace_completion();
+}
+
+void Handle::start() {
+  const double cost = start_begin();
+  if (done_) return;  // empty schedule: completed in start_begin()
+  ctx_.charge(cost);
+  ctx_.charge(start_cascade());
+  start_finish();
 }
 
 double Handle::poke(mpi::Ctx& ctx) {
@@ -207,19 +220,9 @@ void Handle::recover() {
     trace_completion();
     return;
   }
-  double cost = post_round(0);
-  ctx_.charge(cost);
-  double extra = 0.0;
-  while (!done_ && pending_.empty()) {
-    if (++round_ >= schedule_->num_rounds()) {
-      done_ = true;
-      active_ = false;
-      break;
-    }
-    extra += post_round(round_);
-  }
-  ctx_.charge(extra);
-  if (done_) trace_completion();
+  ctx_.charge(post_round(0));
+  ctx_.charge(start_cascade());
+  start_finish();
 }
 
 void Handle::wait() {

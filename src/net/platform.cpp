@@ -144,6 +144,44 @@ Platform bluegene_p() {
   return p;
 }
 
+Platform mega() {
+  Platform p;
+  p.name = "mega";
+  // A synthetic petascale-class system for the 100k+-rank scaling sweeps:
+  // 4096 nodes x 32 cores = 131072 ranks, modern HDR-InfiniBand-like
+  // parameters.  Used with machine-mode execution; fiber mode at this
+  // scale exhausts stack memory by design.
+  p.nodes = 4096;
+  p.cores_per_node = 32;
+  p.nics_per_node = 1;
+  p.inter = LinkParams{.latency = 1.1 * kUs,
+                       .byte_time = 1.0 / 24.0e9,
+                       .send_overhead = 0.4 * kUs,
+                       .recv_overhead = 0.3 * kUs,
+                       .msg_gap = 0.05 * kUs};
+  p.intra = LinkParams{.latency = 0.3 * kUs,
+                       .byte_time = 1.0 / 12.0e9,
+                       .send_overhead = 0.15 * kUs,
+                       .recv_overhead = 0.15 * kUs,
+                       .msg_gap = 0.02 * kUs};
+  p.eager_limit = 16 * 1024;
+  p.cpu_driven_bulk = false;
+  p.bulk_chunk = 1024 * 1024;
+  p.ctrl_overhead = 0.15 * kUs;
+  p.progress_cost = 0.4 * kUs;
+  p.per_req_poll_cost = 0.02 * kUs;
+  p.copy_byte_time = 1.0 / 12.0e9;
+  p.mem_byte_time = 1.0 / 100.0e9;
+  p.congest_coef = 0.005;
+  p.congest_free = 64;
+  p.congest_cap = 2.0;
+  p.mem_congest_coef = 0.001;
+  p.mem_congest_free = 128;
+  p.noise = default_noise();
+  p.flops_per_sec = 3.0e9;
+  return p;
+}
+
 Platform platform_by_name(const std::string& name) {
   if (name == "crill") return crill();
   if (name == "whale") return whale();
@@ -151,6 +189,7 @@ Platform platform_by_name(const std::string& name) {
   if (name == "bgp" || name == "bluegene_p" || name == "bluegene") {
     return bluegene_p();
   }
+  if (name == "mega") return mega();
   throw std::invalid_argument("unknown platform: " + name);
 }
 

@@ -109,8 +109,9 @@ class Engine {
 
   /// Create a process; its body starts running when run() is called.
   /// Returns the process (owned by the engine, stable address).
+  /// @param stack_bytes fiber stack size; 0 = default_fiber_stack_bytes()
   Process& add_process(std::string name, std::function<void(Process&)> body,
-                       std::size_t stack_bytes = 256 * 1024);
+                       std::size_t stack_bytes = 0);
 
   [[nodiscard]] std::size_t process_count() const noexcept {
     return processes_.size();

@@ -1,7 +1,10 @@
 #include "sim/fiber.hpp"
 
 #include <cassert>
+#include <cstdlib>
+#include <new>
 #include <stdexcept>
+#include <string>
 
 #ifdef NBCTUNE_FIBER_ASAN
 #include <sanitizer/common_interface_defs.h>
@@ -14,11 +17,41 @@ namespace nbctune::sim {
 namespace {
 // The fiber being entered or currently running.  Single-threaded by design.
 thread_local Fiber* g_current = nullptr;
+
+constexpr std::size_t kFallbackStackBytes = 256 * 1024;
+constexpr std::size_t kMinStackBytes = 16 * 1024;
+
+std::unique_ptr<char[]> allocate_stack(std::size_t stack_bytes) {
+  try {
+    return std::unique_ptr<char[]>(new char[stack_bytes]);
+  } catch (const std::bad_alloc&) {
+    throw std::runtime_error(
+        "fiber: cannot allocate a " + std::to_string(stack_bytes) +
+        "-byte stack (out of memory); lower NBCTUNE_FIBER_STACK, shrink the "
+        "world, or run the scenario with --exec=machine, which creates no "
+        "fibers");
+  }
+}
 }  // namespace
 
-Fiber::Fiber(Fn fn, std::size_t stack_bytes)
-    : fn_(std::move(fn)), stack_(new char[stack_bytes]) {
+std::size_t default_fiber_stack_bytes() {
+  // Read the environment on every call so tests can vary it per world.
+  if (const char* env = std::getenv("NBCTUNE_FIBER_STACK")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      const auto bytes = static_cast<std::size_t>(v);
+      return bytes < kMinStackBytes ? kMinStackBytes : bytes;
+    }
+  }
+  return kFallbackStackBytes;
+}
+
+Fiber::Fiber(Fn fn, std::size_t stack_bytes) : fn_(std::move(fn)) {
   if (!fn_) throw std::invalid_argument("Fiber requires a callable");
+  if (stack_bytes == 0) stack_bytes = default_fiber_stack_bytes();
+  stack_ = allocate_stack(stack_bytes);
+  trace::count(trace::Ctr::SimFibersCreated);
   if (getcontext(&ctx_) != 0) throw std::runtime_error("getcontext failed");
   ctx_.uc_stack.ss_sp = stack_.get();
   ctx_.uc_stack.ss_size = stack_bytes;

@@ -28,6 +28,13 @@
 
 namespace nbctune::sim {
 
+/// Stack size used when a caller does not pick one: the NBCTUNE_FIBER_STACK
+/// environment variable (bytes, clamped to >= 16 KiB), else 256 KiB.  The
+/// default is generous for the schedule builders and FFT kernels that run on
+/// fiber stacks; pure-collective mega-scale runs should prefer machine mode,
+/// which creates no fibers at all.
+[[nodiscard]] std::size_t default_fiber_stack_bytes();
+
 /// A single cooperatively scheduled fiber.
 ///
 /// Lifecycle: construct with the function to run, call resume() to enter it,
@@ -40,9 +47,11 @@ class Fiber {
   using Fn = std::function<void()>;
 
   /// @param fn          body executed on the fiber's own stack
-  /// @param stack_bytes stack size; the default is generous for the
-  ///                    schedule builders and FFT kernels that run on it
-  explicit Fiber(Fn fn, std::size_t stack_bytes = 256 * 1024);
+  /// @param stack_bytes stack size; 0 means default_fiber_stack_bytes().
+  ///                    Throws std::runtime_error (not std::bad_alloc) with
+  ///                    an actionable message when the stack cannot be
+  ///                    allocated.
+  explicit Fiber(Fn fn, std::size_t stack_bytes = 0);
 
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;

@@ -105,6 +105,10 @@ const char* ctr_name(Ctr c) noexcept {
       return "msg.send_failures";
     case Ctr::NbcFallbacks:
       return "nbc.fallbacks";
+    case Ctr::SimFibersCreated:
+      return "sim.fibers_created";
+    case Ctr::WorldPeakArenaBytes:
+      return "world.peak_arena_bytes";
     case Ctr::kCount:
       break;
   }

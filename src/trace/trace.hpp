@@ -90,6 +90,8 @@ enum class Ctr : std::uint8_t {
   MsgsDupDeliveries,      ///< duplicate deliveries discarded by dedup
   MsgsSendFailures,       ///< sends declared failed (retries exhausted)
   NbcFallbacks,           ///< ops restarted on the fallback algorithm
+  SimFibersCreated,       ///< fibers constructed (0 in machine-mode runs)
+  WorldPeakArenaBytes,    ///< flat per-rank World arenas at destruction
   kCount,
 };
 [[nodiscard]] const char* ctr_name(Ctr c) noexcept;

@@ -95,6 +95,33 @@ TEST(AnalyzeLabel, ParsesMicrobenchConvention) {
   EXPECT_EQ(k.size_group(), "ibcast whale np32 adcl:brute-force");
 }
 
+TEST(AnalyzeLabel, SplitsPlanAndExecSuffixes) {
+  // Suffixes stack as "<what>[+plan=NAME][+exec=MODE]" (microbench.cpp).
+  const analyze::LabelKey k = analyze::parse_label(
+      "ialltoall crill np8 1024B fixed:linear+plan=lossy+exec=machine");
+  ASSERT_TRUE(k.valid);
+  EXPECT_EQ(k.what, "fixed:linear");
+  EXPECT_EQ(k.plan, "lossy");
+  EXPECT_EQ(k.exec, "machine");
+  EXPECT_EQ(k.group(), "ialltoall crill np8 1024B plan=lossy exec=machine");
+  EXPECT_EQ(k.size_group(),
+            "ialltoall crill np8 fixed:linear plan=lossy exec=machine");
+
+  // Exec tag without a plan; the fiber default stays untagged so fiber
+  // and machine runs land in distinct G2/G3 comparison groups.
+  const analyze::LabelKey m = analyze::parse_label(
+      "ibcast mega np1024 1024B fixed:binomial/seg32k+exec=machine");
+  ASSERT_TRUE(m.valid);
+  EXPECT_EQ(m.what, "fixed:binomial/seg32k");
+  EXPECT_TRUE(m.plan.empty());
+  EXPECT_EQ(m.exec, "machine");
+  const analyze::LabelKey f = analyze::parse_label(
+      "ibcast mega np1024 1024B fixed:binomial/seg32k");
+  ASSERT_TRUE(f.valid);
+  EXPECT_TRUE(f.exec.empty());
+  EXPECT_NE(f.group(), m.group());
+}
+
 TEST(AnalyzeLabel, RejectsOtherShapes) {
   EXPECT_FALSE(analyze::parse_label("").valid);
   EXPECT_FALSE(analyze::parse_label("golden ibcast").valid);
@@ -155,6 +182,11 @@ TEST(AnalyzeGolden, TwoRankIbcastCriticalPath) {
   EXPECT_EQ(s.ranks[0].compute_in_op, 0.0);
   // The receiver's slack is bounded by its op elapsed.
   EXPECT_LE(s.ranks[1].slack, s.ranks[1].op_time + 1e-12);
+
+  // Execution-resource counters flow from the per-scenario trace: one
+  // fiber per rank, and a non-zero World arena footprint.
+  EXPECT_EQ(s.fibers_created, 2u);
+  EXPECT_GT(s.peak_arena_bytes, 0u);
 
   // G1 evaluated and passing; the label is not microbench-shaped, so the
   // comparative guidelines stay n/a.
