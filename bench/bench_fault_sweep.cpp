@@ -10,6 +10,9 @@
 // around drift?  Run with --report / --trace-counters to get the
 // analyzer's fault attribution; CI diffs both against committed goldens.
 
+#include <memory>
+
+#include "adcl/guidelines.hpp"
 #include "bench_util.hpp"
 #include "fault/fault.hpp"
 #include "net/platform.hpp"
@@ -117,6 +120,52 @@ int main(int argc, char** argv) {
     const RunOutcome r = run_adcl(s, opts);
     std::cout << "winner=" << r.impl << " loop_time="
               << harness::Table::num(r.loop_time)
+              << "s decision_iter=" << r.decision_iteration << "\n";
+  }
+
+  // Guideline-pruning demo: a mock-up bound derived from two fixed runs
+  // of the pairwise Ialltoall (guideline G5's split shape: the 64 KiB op
+  // should cost at most 2x the 32 KiB op) convicts the linear and
+  // dissemination members during tuning — both overshoot the bound on
+  // TCP — so the guideline-pruned policy eliminates them after one
+  // measurement each (adcl.guideline_prunes counter + report "prunes"
+  // array) and pairwise wins.  The two fixed runs also give the analyzer
+  // a same-label size pair, putting G5 itself under test in the golden.
+  {
+    harness::banner(
+        "Guideline pruning: Ialltoall members convicted by a mock-up bound");
+    MicroScenario base;
+    base.platform = net::whale_tcp();
+    base.nprocs = 16;
+    base.op = OpKind::Ialltoall;
+    base.compute_per_iter = 0.0;
+    base.progress_calls = 3;
+    base.iterations = 12;
+    base.noise_scale = 0.0;
+    base.seed = 42;
+
+    MicroScenario half = base;
+    half.bytes = 32 * 1024;
+    const RunOutcome r_half = run_fixed(half, 2);  // pairwise
+    MicroScenario full = base;
+    full.bytes = 64 * 1024;
+    const RunOutcome r_full = run_fixed(full, 2);
+
+    const double bound =
+        2.0 * r_half.loop_time / static_cast<double>(base.iterations);
+    auto book = std::make_shared<adcl::GuidelineBook>();
+    book->add_mockup("split:pairwise@32768Bx2", bound);
+
+    adcl::TuningOptions opts;
+    opts.policy = adcl::PolicyKind::GuidelinePruned;
+    opts.tests_per_function = 2;
+    opts.guidelines = book;
+    const RunOutcome r = run_adcl(full, opts);
+    std::cout << "pairwise@32KiB=" << harness::Table::num(r_half.loop_time)
+              << "s pairwise@64KiB=" << harness::Table::num(r_full.loop_time)
+              << "s mockup_bound/iter=" << harness::Table::num(bound)
+              << "s\nwinner=" << r.impl
+              << " loop_time=" << harness::Table::num(r.loop_time)
               << "s decision_iter=" << r.decision_iteration << "\n";
   }
   return 0;

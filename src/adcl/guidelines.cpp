@@ -1,0 +1,24 @@
+#include "adcl/guidelines.hpp"
+
+namespace nbctune::adcl {
+
+const DominatedMark* GuidelineBook::find_dominated(
+    const std::string& function) const noexcept {
+  for (const DominatedMark& m : dominated_) {
+    if (m.function == function) return &m;
+  }
+  return nullptr;
+}
+
+const MockupBound* GuidelineBook::violated_by(double score) const noexcept {
+  const MockupBound* tightest = nullptr;
+  for (const MockupBound& m : mockups_) {
+    if (score > m.limit() &&
+        (tightest == nullptr || m.limit() < tightest->limit())) {
+      tightest = &m;
+    }
+  }
+  return tightest;
+}
+
+}  // namespace nbctune::adcl

@@ -20,6 +20,8 @@ const char* policy_name(PolicyKind k) noexcept {
       return "attribute-heuristic";
     case PolicyKind::TwoKFactorial:
       return "2k-factorial";
+    case PolicyKind::GuidelinePruned:
+      return "guideline-pruned";
   }
   return "?";
 }
@@ -342,9 +344,90 @@ class TwoKFactorialPolicy final : public Policy {
   int winner_ = -1;
 };
 
+// -------------------------------------------------------- GuidelinePruned
+
+// Brute force over the survivors of guideline verdicts (Hunold: mock-up
+// checks convict implementations before they are ever timed).  Members a
+// prior analysis pass marked dominated are pruned in first(); members
+// whose agreed score exceeds a measured mock-up bound are pruned in
+// next().  At least one candidate always survives, and every prune
+// leaves an audit Elimination naming the convicting guideline.
+class GuidelinePrunedPolicy final : public Policy {
+ public:
+  GuidelinePrunedPolicy(const FunctionSet& fset, const GuidelineBook* book)
+      : fset_(fset), book_(book) {
+    for (std::size_t i = 0; i < fset_.size(); ++i) {
+      candidates_.push_back(static_cast<int>(i));
+    }
+  }
+
+  int first() override {
+    if (book_ != nullptr) {
+      for (int c : std::vector<int>(candidates_)) {
+        if (candidates_.size() <= 1) break;
+        const DominatedMark* m =
+            book_->find_dominated(fset_.function(c).name);
+        if (m == nullptr) continue;
+        Elimination e;
+        e.guideline = m->guideline;
+        e.pruned.push_back(c);
+        eliminations_.push_back(std::move(e));
+        std::erase(candidates_, c);
+      }
+    }
+    if (candidates_.size() == 1) {
+      winner_ = candidates_.front();
+      return -1;
+    }
+    return next_unmeasured();
+  }
+
+  int next(int func, double score) override {
+    scores_[func] = score;
+    if (book_ != nullptr && candidates_.size() > 1) {
+      if (const MockupBound* b = book_->violated_by(score)) {
+        Elimination e;
+        e.guideline = b->guideline;
+        e.bound = b->bound;
+        e.pruned.push_back(func);
+        eliminations_.push_back(std::move(e));
+        std::erase(candidates_, func);
+      }
+    }
+    const int nxt = next_unmeasured();
+    if (nxt >= 0) return nxt;
+    winner_ = argmin(scores_, candidates_);
+    if (winner_ < 0) winner_ = candidates_.front();
+    return -1;
+  }
+
+  [[nodiscard]] int winner() const override { return winner_; }
+
+  [[nodiscard]] const std::vector<Elimination>& eliminations()
+      const override {
+    return eliminations_;
+  }
+
+ private:
+  int next_unmeasured() const {
+    for (int c : candidates_) {
+      if (!scores_.contains(c)) return c;
+    }
+    return -1;
+  }
+
+  const FunctionSet& fset_;
+  const GuidelineBook* book_;
+  std::vector<int> candidates_;
+  std::map<int, double> scores_;
+  int winner_ = -1;
+  std::vector<Elimination> eliminations_;
+};
+
 }  // namespace
 
-std::unique_ptr<Policy> make_policy(PolicyKind kind, const FunctionSet& fset) {
+std::unique_ptr<Policy> make_policy(PolicyKind kind, const FunctionSet& fset,
+                                    const GuidelineBook* book) {
   switch (kind) {
     case PolicyKind::BruteForce:
       return std::make_unique<BruteForcePolicy>(fset);
@@ -352,8 +435,15 @@ std::unique_ptr<Policy> make_policy(PolicyKind kind, const FunctionSet& fset) {
       return std::make_unique<AttributeHeuristicPolicy>(fset);
     case PolicyKind::TwoKFactorial:
       return std::make_unique<TwoKFactorialPolicy>(fset);
+    case PolicyKind::GuidelinePruned:
+      return std::make_unique<GuidelinePrunedPolicy>(
+          fset, book != nullptr && !book->empty() ? book : nullptr);
   }
   throw std::invalid_argument("unknown policy");
+}
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind, const FunctionSet& fset) {
+  return make_policy(kind, fset, nullptr);
 }
 
 std::vector<double> factorial_main_effects(const Policy& policy) {
@@ -373,8 +463,11 @@ SelectionState::SelectionState(std::shared_ptr<const FunctionSet> fset,
   if (opts_.tests_per_function < 1) {
     throw std::invalid_argument("SelectionState: tests_per_function < 1");
   }
-  policy_ = make_policy(opts_.policy, *fset_);
+  policy_ = make_policy(opts_.policy, *fset_, opts_.guidelines.get());
   const int f = policy_->first();
+  // first() may already prune (pre-marked guideline verdicts); adopt the
+  // audit records now, trace them at the first record() call (no Ctx yet).
+  adopt_policy_eliminations();
   if (f < 0) {
     decided_ = true;
     winner_ = policy_->winner() < 0 ? 0 : policy_->winner();
@@ -393,11 +486,63 @@ void SelectionState::force_winner(int func) {
   winner_ = func;
   current_ = func;
   decision_iteration_ = iterations_;
+  // A pinned run bypasses the policy entirely: drop any constructor-time
+  // prunes so they never reach the trace (pinned goldens stay identical
+  // with or without a guideline book).
+  eliminations_.clear();
+  traced_elims_ = 0;
+}
+
+void SelectionState::adopt_policy_eliminations() {
+  const auto& elims = policy_->eliminations();
+  for (std::size_t i = policy_elims_seen_; i < elims.size(); ++i) {
+    Policy::Elimination e = elims[i];
+    e.iteration = iterations_;
+    eliminations_.push_back(std::move(e));
+  }
+  policy_elims_seen_ = elims.size();
+}
+
+void SelectionState::emit_elimination_events(mpi::Ctx& ctx) {
+  for (; traced_elims_ < eliminations_.size(); ++traced_elims_) {
+    const Policy::Elimination& e = eliminations_[traced_elims_];
+    const auto iter = static_cast<std::uint64_t>(e.iteration);
+    if (e.attr >= 0) {
+      trace::count(trace::Ctr::AdclEliminations);
+      if (trace::active()) {
+        trace::instant(ctx.now(), ctx.world_rank(), trace::Cat::Adcl,
+                       "adcl.eliminate", "attr",
+                       static_cast<std::uint64_t>(e.attr), "value",
+                       static_cast<std::uint64_t>(e.value), iter);
+        for (int f : e.pruned) {
+          trace::instant(ctx.now(), ctx.world_rank(), trace::Cat::Adcl,
+                         "adcl.eliminate.func", "func",
+                         static_cast<std::uint64_t>(f), "kept",
+                         static_cast<std::uint64_t>(e.kept), iter);
+        }
+      }
+    } else {
+      // Guideline prune: one convicted function per record; bound_ns 0
+      // means a pre-marked (analyzer-verdict) conviction.
+      trace::count(trace::Ctr::AdclGuidelinePrunes);
+      if (trace::active()) {
+        for (int f : e.pruned) {
+          trace::instant(ctx.now(), ctx.world_rank(), trace::Cat::Adcl,
+                         "adcl.prune", "func", static_cast<std::uint64_t>(f),
+                         "bound_ns",
+                         static_cast<std::uint64_t>(
+                             std::llround(e.bound * 1e9)),
+                         iter);
+        }
+      }
+    }
+  }
 }
 
 void SelectionState::record(mpi::Ctx& ctx, const mpi::Comm& comm,
                             double sample) {
   ++iterations_;
+  emit_elimination_events(ctx);
   if (decided_) {
     maybe_drift(ctx, comm, sample);
     return;
@@ -421,29 +566,9 @@ void SelectionState::record(mpi::Ctx& ctx, const mpi::Comm& comm,
                    static_cast<std::uint64_t>(std::llround(agreed * 1e9)),
                    static_cast<std::uint64_t>(iterations_));
   }
-  const std::size_t elims_before = policy_->eliminations().size();
   const int nxt = policy_->next(current_, agreed);
-  const auto& elims = policy_->eliminations();
-  for (std::size_t i = elims_before; i < elims.size(); ++i) {
-    Policy::Elimination e = elims[i];
-    e.iteration = iterations_;
-    trace::count(trace::Ctr::AdclEliminations);
-    if (trace::active()) {
-      trace::instant(ctx.now(), ctx.world_rank(), trace::Cat::Adcl,
-                     "adcl.eliminate", "attr",
-                     static_cast<std::uint64_t>(e.attr), "value",
-                     static_cast<std::uint64_t>(e.value),
-                     static_cast<std::uint64_t>(iterations_));
-      for (int f : e.pruned) {
-        trace::instant(ctx.now(), ctx.world_rank(), trace::Cat::Adcl,
-                       "adcl.eliminate.func", "func",
-                       static_cast<std::uint64_t>(f), "kept",
-                       static_cast<std::uint64_t>(e.kept),
-                       static_cast<std::uint64_t>(iterations_));
-      }
-    }
-    eliminations_.push_back(std::move(e));
-  }
+  adopt_policy_eliminations();
+  emit_elimination_events(ctx);
   if (nxt < 0) {
     finalize(ctx);
   } else {
@@ -490,8 +615,14 @@ void SelectionState::maybe_drift(mpi::Ctx& ctx, const mpi::Comm& comm,
   baseline_score_ = std::numeric_limits<double>::quiet_NaN();
   scores_.clear();
   batch_.clear();
-  policy_ = make_policy(opts_.policy, *fset_);
+  policy_ = make_policy(opts_.policy, *fset_, opts_.guidelines.get());
+  policy_elims_seen_ = 0;
   const int f = policy_->first();
+  // A fresh guideline-pruned policy re-applies pre-marked verdicts:
+  // convicted members stay out across drift re-tunes (audited again at
+  // the current iteration).
+  adopt_policy_eliminations();
+  emit_elimination_events(ctx);
   if (f < 0) {
     finalize(ctx);
   } else {

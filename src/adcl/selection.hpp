@@ -12,6 +12,12 @@
 //   TwoKFactorial       2^k factorial screening over attribute extremes,
 //                       then coordinate refinement (handles correlated
 //                       attributes; [4])
+//   GuidelinePruned     brute force over the survivors of guideline
+//                       verdicts (guidelines.hpp): members convicted by a
+//                       prior analysis pass are skipped outright, and any
+//                       candidate scoring above a measured mock-up bound
+//                       is dropped mid-search (Hunold: guideline verdicts
+//                       as tuning signals)
 //
 // Policies are deterministic state machines over (function, score) pairs;
 // scores are robust-filtered, rank-agreed execution times.
@@ -24,12 +30,18 @@
 
 #include "adcl/filtering.hpp"
 #include "adcl/function.hpp"
+#include "adcl/guidelines.hpp"
 
 namespace nbctune::adcl {
 
 class HistoryStore;
 
-enum class PolicyKind { BruteForce, AttributeHeuristic, TwoKFactorial };
+enum class PolicyKind {
+  BruteForce,
+  AttributeHeuristic,
+  TwoKFactorial,
+  GuidelinePruned,
+};
 
 [[nodiscard]] const char* policy_name(PolicyKind k) noexcept;
 
@@ -53,20 +65,29 @@ struct TuningOptions {
   /// baseline by more than `drift_tolerance` (relative), tuning re-opens.
   int drift_window = 0;
   double drift_tolerance = 0.5;
+  /// Guideline verdicts for PolicyKind::GuidelinePruned (ignored by the
+  /// other policies).  Shared so drift re-tunes re-apply the same
+  /// verdicts: a convicted member stays pruned across policy resets.
+  std::shared_ptr<const GuidelineBook> guidelines;
 };
 
 /// A selection policy: a deterministic walk over functions to measure.
 class Policy {
  public:
-  /// One pruning step of an eliminating policy: an attribute sweep closed,
-  /// the attribute was fixed, and every candidate with a different value
-  /// was removed (the audit counterpart of the brute-force score history).
+  /// One pruning step of an eliminating policy.  Attribute-heuristic
+  /// sweeps set `attr`/`value`/`kept` (an attribute was fixed and every
+  /// candidate with a different value removed); guideline prunes leave
+  /// `attr` at -1 and set `guideline` (and `bound` for mock-up verdicts)
+  /// instead.  Either way the record is the audit counterpart of the
+  /// brute-force score history.
   struct Elimination {
-    int attr = -1;      ///< attribute index whose sweep closed
+    int attr = -1;      ///< attribute index whose sweep closed (-1: guideline)
     int value = 0;      ///< value the attribute was fixed at
     int kept = -1;      ///< best function of the closing phase
     int iteration = 0;  ///< tuning iteration (stamped by SelectionState)
     std::vector<int> pruned;  ///< functions removed from the candidate set
+    std::string guideline;    ///< convicting verdict (guideline prunes only)
+    double bound = 0.0;  ///< violated mock-up bound, seconds (0: pre-marked)
   };
 
   virtual ~Policy() = default;
@@ -80,6 +101,11 @@ class Policy {
   /// Pruning steps taken so far (empty for non-eliminating policies).
   [[nodiscard]] virtual const std::vector<Elimination>& eliminations() const;
 };
+
+/// `book` feeds PolicyKind::GuidelinePruned (nullptr or empty degrades it
+/// to plain brute force); the other kinds ignore it.
+std::unique_ptr<Policy> make_policy(PolicyKind kind, const FunctionSet& fset,
+                                    const GuidelineBook* book);
 
 std::unique_ptr<Policy> make_policy(PolicyKind kind, const FunctionSet& fset);
 
@@ -162,6 +188,14 @@ class SelectionState {
   void finalize(mpi::Ctx& ctx);
   /// Post-decision sample monitoring; may re-open tuning (drift).
   void maybe_drift(mpi::Ctx& ctx, const mpi::Comm& comm, double sample);
+  /// Copy eliminations the policy produced since the last call into
+  /// `eliminations_`, stamped with the current iteration.  Covers prunes
+  /// from Policy::first() (pre-tuning verdicts) as well as from next().
+  void adopt_policy_eliminations();
+  /// Emit trace events + counters for adopted eliminations not yet
+  /// traced.  Deferred separately from adoption because the constructor
+  /// (where first() may already prune) has no Ctx to trace against.
+  void emit_elimination_events(mpi::Ctx& ctx);
 
   std::shared_ptr<const FunctionSet> fset_;
   TuningOptions opts_;
@@ -177,6 +211,8 @@ class SelectionState {
   std::vector<Measurement> measurements_;
   std::string history_key_;
   std::vector<Policy::Elimination> eliminations_;
+  std::size_t policy_elims_seen_ = 0;  ///< adopted from the current policy
+  std::size_t traced_elims_ = 0;       ///< emitted as trace events
   int retunes_ = 0;
   std::vector<int> retune_iterations_;
   double baseline_score_ = std::numeric_limits<double>::quiet_NaN();

@@ -98,6 +98,40 @@ std::string LabelKey::size_group() const {
   return g;
 }
 
+std::string LabelKey::rank_group() const {
+  std::string g =
+      op + " " + platform + " " + std::to_string(bytes) + "B " + what;
+  if (!plan.empty()) g += " plan=" + plan;
+  if (!exec.empty()) g += " exec=" + exec;
+  return g;
+}
+
+// ------------------------------------------------------ order statistics
+
+SampleStats order_stats(std::vector<double> samples) {
+  SampleStats st;
+  st.n = samples.size();
+  if (samples.empty()) return st;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  st.median = n % 2 == 1 ? samples[n / 2]
+                         : (samples[n / 2 - 1] + samples[n / 2]) / 2.0;
+  // ~95% nonparametric CI on the median: the order-statistic ranks
+  // floor(mid - z/2*sqrt(n)) and ceil(mid + z/2*sqrt(n)) with z = 1.96
+  // (normal approximation of Binomial(n, 1/2)), clamped to the sample.
+  // sqrt/floor/ceil are IEEE-exact, so the chosen ranks — and therefore
+  // the emitted bounds — are identical across compilers.
+  const double mid = static_cast<double>(n - 1) / 2.0;
+  const double delta = 0.98 * std::sqrt(static_cast<double>(n));
+  const auto lo_i =
+      static_cast<std::size_t>(std::max(0.0, std::floor(mid - delta)));
+  const auto hi_i = static_cast<std::size_t>(
+      std::min(static_cast<double>(n - 1), std::ceil(mid + delta)));
+  st.lo = samples[lo_i];
+  st.hi = samples[hi_i];
+  return st;
+}
+
 // ----------------------------------------------------- scenario indexing
 
 namespace {
@@ -470,6 +504,12 @@ AdclAudit analyze_adcl(const ScenarioTrace& t) {
       el.value = static_cast<int>(e.arg("value"));
       el.iteration = static_cast<int>(e.corr);
       a.eliminations.push_back(std::move(el));
+    } else if (e.name == "adcl.prune") {
+      AdclPrune p;
+      p.func = static_cast<int>(e.arg("func"));
+      p.bound = static_cast<double>(e.arg("bound_ns")) * 1e-9;
+      p.iteration = static_cast<int>(e.corr);
+      a.prunes.push_back(p);
     } else if (e.name == "adcl.eliminate.func") {
       // Emitted right after its adcl.eliminate; attach to the newest
       // record (several eliminations may share one iteration when
@@ -580,12 +620,14 @@ std::vector<GuidelineResult> check_guidelines(
     LabelKey key;
   };
   std::map<std::string, std::vector<Cell>> groups;       // G2/G3
-  std::map<std::string, std::vector<Cell>> size_groups;  // G4
+  std::map<std::string, std::vector<Cell>> size_groups;  // G4/G5
+  std::map<std::string, std::vector<Cell>> rank_groups;  // G6
   for (const ScenarioReport& s : scenarios) {
     LabelKey k = parse_label(s.label);
     if (!k.valid || s.ops_completed == 0) continue;
     groups[k.group()].push_back({&s, k});
     size_groups[k.size_group()].push_back({&s, k});
+    rank_groups[k.rank_group()].push_back({&s, k});
   }
 
   // G2: the tuned winner is no slower than the best fixed candidate
@@ -691,6 +733,77 @@ std::vector<GuidelineResult> check_guidelines(
     out.push_back(std::move(g));
   }
 
+  // G5: pattern-split mock-up (Hunold).  Splitting an operation into two
+  // half-size instances is a valid alternative implementation, so the
+  // full-size op may not cost more than twice the half-size op (plus
+  // epsilon).  Checked for exact size doublings within a size group.
+  {
+    GuidelineResult g;
+    g.id = "G5";
+    g.description =
+        "doubling the message size at most doubles op time (split mock-up)";
+    for (const auto& [key, cells] : size_groups) {
+      if (cells.size() < 2) continue;
+      std::vector<Cell> sorted = cells;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const Cell& x, const Cell& y) {
+                  return x.key.bytes < y.key.bytes;
+                });
+      for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        if (sorted[i + 1].key.bytes != 2 * sorted[i].key.bytes) continue;
+        ++g.checked;
+        const double half = sorted[i].s->mean_op_elapsed;
+        const double full = sorted[i + 1].s->mean_op_elapsed;
+        if (full <= 2.0 * half * (1.0 + opts.epsilon)) {
+          ++g.passed;
+        } else {
+          std::string v = sorted[i + 1].s->label + ": ";
+          fmt_ns(v, full);
+          v += " > 2x ";
+          fmt_ns(v, half);
+          v += " at " + std::to_string(sorted[i].key.bytes) + "B";
+          g.violations.push_back(std::move(v));
+        }
+      }
+    }
+    out.push_back(std::move(g));
+  }
+
+  // G6: op time is monotone non-decreasing in the process count for a
+  // fixed implementation and message size (more participants never make
+  // a collective faster; a small dip is tolerated for topology effects
+  // measured under noise).
+  {
+    GuidelineResult g;
+    g.id = "G6";
+    g.description = "op time monotone non-decreasing in process count";
+    for (const auto& [key, cells] : rank_groups) {
+      if (cells.size() < 2) continue;
+      std::vector<Cell> sorted = cells;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const Cell& x, const Cell& y) {
+                  return x.key.nprocs < y.key.nprocs;
+                });
+      for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        if (sorted[i].key.nprocs == sorted[i + 1].key.nprocs) continue;
+        ++g.checked;
+        const double small = sorted[i].s->mean_op_elapsed;
+        const double big = sorted[i + 1].s->mean_op_elapsed;
+        if (big >= small * (1.0 - opts.monotonicity_tolerance)) {
+          ++g.passed;
+        } else {
+          std::string v = sorted[i + 1].s->label + ": ";
+          fmt_ns(v, big);
+          v += " at np" + std::to_string(sorted[i + 1].key.nprocs) + " < ";
+          fmt_ns(v, small);
+          v += " at np" + std::to_string(sorted[i].key.nprocs);
+          g.violations.push_back(std::move(v));
+        }
+      }
+    }
+    out.push_back(std::move(g));
+  }
+
   return out;
 }
 
@@ -721,6 +834,11 @@ Report analyze(const std::vector<ScenarioTrace>& traces,
     sr.mean_op_elapsed = op_n > 0 ? op_sum / static_cast<double>(op_n) : 0.0;
 
     double worst_elapsed = -1.0;
+    // One repetition sample per op instance: the critical rank's elapsed
+    // time and blame partition ("MPI Benchmarking Revisited": statistics
+    // are computed over repetitions, never pooled measurements).
+    std::vector<double> elapsed_samples;
+    std::vector<double> blame_samples[6];
     for (const auto& [corr, spans] : ix.ops) {
       OpCritical oc = analyze_op(ix, corr, spans, opts.max_hops);
       sr.blame.compute += oc.blame.compute;
@@ -729,12 +847,29 @@ Report analyze(const std::vector<ScenarioTrace>& traces,
       sr.blame.late_sender += oc.blame.late_sender;
       sr.blame.missing_progress += oc.blame.missing_progress;
       sr.blame.other += oc.blame.other;
+      elapsed_samples.push_back(oc.elapsed);
+      blame_samples[0].push_back(oc.blame.compute);
+      blame_samples[1].push_back(oc.blame.progress);
+      blame_samples[2].push_back(oc.blame.wire);
+      blame_samples[3].push_back(oc.blame.late_sender);
+      blame_samples[4].push_back(oc.blame.missing_progress);
+      blame_samples[5].push_back(oc.blame.other);
       if (oc.elapsed > worst_elapsed) {
         worst_elapsed = oc.elapsed;
         sr.worst = std::move(oc);
         sr.has_critical = true;
       }
     }
+    sr.op_stats = order_stats(std::move(elapsed_samples));
+    sr.blame_stats.compute = order_stats(std::move(blame_samples[0]));
+    sr.blame_stats.progress = order_stats(std::move(blame_samples[1]));
+    sr.blame_stats.wire = order_stats(std::move(blame_samples[2]));
+    sr.blame_stats.late_sender = order_stats(std::move(blame_samples[3]));
+    sr.blame_stats.missing_progress =
+        order_stats(std::move(blame_samples[4]));
+    sr.blame_stats.other = order_stats(std::move(blame_samples[5]));
+    sr.min_reps_met =
+        sr.op_stats.n >= static_cast<std::uint64_t>(std::max(opts.min_reps, 0));
 
     sr.ranks = analyze_overlap(ix);
     sr.adcl = analyze_adcl(t);

@@ -18,9 +18,12 @@
 //   * an ADCL decision audit: every agreed batch score, the winner, the
 //     margin over the runner-up and the decision iteration, replayed
 //     from adcl.score / adcl.decision events;
-//   * performance-guideline checks over the whole scenario set (G1-G4
+//   * performance-guideline checks over the whole scenario set (G1-G6
 //     below), the trace-level analogue of the self-consistent-performance
-//     rules the paper's tuning results are expected to satisfy.
+//     rules the paper's tuning results are expected to satisfy;
+//   * repetition-aware statistics per scenario: median and nonparametric
+//     confidence intervals over the op-instance samples, with a
+//     minimum-repetition flag ("MPI Benchmarking Revisited" discipline).
 //
 // All analysis is pure: no simulator state is touched, so the same
 // report can be produced live by a bench driver (--report) or offline by
@@ -151,6 +154,15 @@ struct AdclElimination {
   std::vector<int> pruned;
 };
 
+/// One guideline-pruning conviction replayed from an adcl.prune event:
+/// function `func` was removed because it violated a mock-up bound of
+/// `bound` seconds (0 = convicted by name before tuning started).
+struct AdclPrune {
+  int func = -1;
+  double bound = 0.0;
+  int iteration = 0;
+};
+
 /// Decision audit of one tuned scenario.
 struct AdclAudit {
   bool present = false;  ///< scenario recorded adcl events
@@ -169,6 +181,8 @@ struct AdclAudit {
   /// Attribute-heuristic pruning audit, chronological (empty for
   /// non-eliminating policies).
   std::vector<AdclElimination> eliminations;
+  /// Guideline-pruning audit (adcl.prune events), chronological.
+  std::vector<AdclPrune> prunes;
 };
 
 /// Fault/resilience activity replayed from trace events; all zero (and
@@ -185,6 +199,32 @@ struct FaultSummary {
     return (drops | dups | dup_deliveries | retransmits | send_failures |
             fallbacks | stragglers) != 0;
   }
+};
+
+/// Order statistics of one sample set ("MPI Benchmarking Revisited":
+/// report the median with a nonparametric confidence interval, never a
+/// bare mean).  The ~95% CI on the median comes from binomial
+/// order-statistic ranks (normal approximation, z = 1.96); the rank
+/// arithmetic is integer-exact, so the bounds are byte-deterministic
+/// across compilers.  With n < 2 the CI degenerates to the sample.
+struct SampleStats {
+  std::uint64_t n = 0;
+  double median = 0.0;
+  double lo = 0.0;  ///< lower CI bound (an order statistic of the sample)
+  double hi = 0.0;  ///< upper CI bound
+};
+
+/// Compute order statistics of `samples` (consumed; sorted in place).
+[[nodiscard]] SampleStats order_stats(std::vector<double> samples);
+
+/// Per-blame-category statistics over a scenario's op instances.
+struct BlameStats {
+  SampleStats compute;
+  SampleStats progress;
+  SampleStats wire;
+  SampleStats late_sender;
+  SampleStats missing_progress;
+  SampleStats other;
 };
 
 /// Everything derived from one scenario trace.
@@ -208,11 +248,19 @@ struct ScenarioReport {
   /// and the World's flat per-rank arena footprint at destruction.
   std::uint64_t fibers_created = 0;
   std::uint64_t peak_arena_bytes = 0;
+  /// Repetition-aware statistics over the scenario's op instances (one
+  /// sample per collective instance: the critical rank's elapsed time
+  /// and its blame partition).  `min_reps_met` flags whether the sample
+  /// count reaches Options::min_reps — reports below that threshold are
+  /// smoke signals, not measurements (see docs/METHODOLOGY.md).
+  SampleStats op_stats;
+  BlameStats blame_stats;
+  bool min_reps_met = false;
 };
 
 /// Outcome of one performance-guideline check.
 struct GuidelineResult {
-  std::string id;           ///< "G1".."G4"
+  std::string id;           ///< "G1".."G6"
   std::string description;
   int checked = 0;  ///< comparisons evaluated
   int passed = 0;
@@ -240,10 +288,15 @@ struct Options {
   /// violation (tuning measures under noise, so exact dominance is not a
   /// realistic requirement — see paper §IV).
   double epsilon = 0.25;
-  /// Allowed relative dip for the message-size monotonicity check (G4).
+  /// Allowed relative dip for the message-size monotonicity check (G4)
+  /// and the rank-count monotonicity check (G6).
   double monotonicity_tolerance = 0.05;
   /// Hop limit for the backwards critical-path walk.
   int max_hops = 16;
+  /// Minimum op-instance samples for a scenario's statistics to count as
+  /// a measurement ("MPI Benchmarking Revisited": repetition control);
+  /// below this ScenarioReport::min_reps_met is false.
+  int min_reps = 5;
 };
 
 /// Analyze a batch of scenario traces (one bench run).  Deterministic:
@@ -284,8 +337,10 @@ struct LabelKey {
   /// Includes the plan: faulted runs only compare against equally
   /// faulted references.
   [[nodiscard]] std::string group() const;
-  /// Group key ignoring the message size (G4 sweeps sizes).
+  /// Group key ignoring the message size (G4/G5 sweep sizes).
   [[nodiscard]] std::string size_group() const;
+  /// Group key ignoring the process count (G6 sweeps ranks).
+  [[nodiscard]] std::string rank_group() const;
 };
 
 [[nodiscard]] LabelKey parse_label(const std::string& label);

@@ -45,10 +45,16 @@ void put_blame(std::ostream& os, const char* key, const Blame& b) {
      << ",\"other\":" << ns(b.other) << ",\"total\":" << ns(b.total()) << "}";
 }
 
+void put_stats(std::ostream& os, const char* key, const SampleStats& st) {
+  os << "\"" << key << "\":{\"n\":" << st.n << ",\"median_ns\":"
+     << ns(st.median) << ",\"lo_ns\":" << ns(st.lo)
+     << ",\"hi_ns\":" << ns(st.hi) << "}";
+}
+
 }  // namespace
 
 void write_json(std::ostream& os, const Report& report) {
-  os << "{\"schema\":\"nbctune-report-v1\"";
+  os << "{\"schema\":\"nbctune-report-v2\"";
   os << ",\"scenario_count\":" << report.scenarios.size();
   os << ",\"scenarios\":[";
   for (std::size_t i = 0; i < report.scenarios.size(); ++i) {
@@ -61,6 +67,22 @@ void write_json(std::ostream& os, const Report& report) {
        << ",\"post_decision_op_ns\":" << ns(s.post_decision_op_elapsed)
        << ",\"zero_compute\":" << (s.zero_compute ? "true" : "false") << ",";
     put_blame(os, "blame_ns", s.blame);
+    os << ",\"stats\":{\"min_reps_met\":"
+       << (s.min_reps_met ? "true" : "false") << ",";
+    put_stats(os, "op", s.op_stats);
+    os << ",\"blame\":{";
+    put_stats(os, "compute", s.blame_stats.compute);
+    os << ",";
+    put_stats(os, "progress", s.blame_stats.progress);
+    os << ",";
+    put_stats(os, "wire", s.blame_stats.wire);
+    os << ",";
+    put_stats(os, "late_sender", s.blame_stats.late_sender);
+    os << ",";
+    put_stats(os, "missing_progress", s.blame_stats.missing_progress);
+    os << ",";
+    put_stats(os, "other", s.blame_stats.other);
+    os << "}}";
     if (s.has_critical) {
       const OpCritical& c = s.worst;
       os << ",\"critical\":{\"corr\":" << c.corr
@@ -119,6 +141,16 @@ void write_json(std::ostream& os, const Report& report) {
             os << (p == 0 ? "" : ",") << el.pruned[p];
           }
           os << "]}";
+        }
+        os << "]";
+      }
+      if (!a.prunes.empty()) {
+        os << ",\"prunes\":[";
+        for (std::size_t k = 0; k < a.prunes.size(); ++k) {
+          const AdclPrune& p = a.prunes[k];
+          os << (k == 0 ? "" : ",") << "{\"func\":" << p.func
+             << ",\"bound_ns\":" << ns(p.bound) << ",\"iter\":" << p.iteration
+             << "}";
         }
         os << "]";
       }
@@ -205,6 +237,19 @@ void write_table(std::ostream& os, const Report& report) {
        << ", late-sender " << pct(s.blame.late_sender, tot)
        << ", missing-progress " << pct(s.blame.missing_progress, tot)
        << ", other " << pct(s.blame.other, tot) << "\n";
+    if (s.op_stats.n > 0) {
+      os << "  stats: " << s.op_stats.n << " op sample(s), median "
+         << us(s.op_stats.median) << " us, ~95% CI [" << us(s.op_stats.lo)
+         << ", " << us(s.op_stats.hi) << "] us"
+         << (s.min_reps_met ? "" : "  [below min-reps: not a measurement]")
+         << "\n";
+      os << "  blame medians: compute " << us(s.blame_stats.compute.median)
+         << ", progress " << us(s.blame_stats.progress.median) << ", wire "
+         << us(s.blame_stats.wire.median) << ", late-sender "
+         << us(s.blame_stats.late_sender.median) << ", missing-progress "
+         << us(s.blame_stats.missing_progress.median) << ", other "
+         << us(s.blame_stats.other.median) << " us\n";
+    }
     if (s.has_critical) {
       const OpCritical& c = s.worst;
       os << "  worst op: corr " << c.corr << " on rank " << c.critical_rank
@@ -244,6 +289,16 @@ void write_table(std::ostream& os, const Report& report) {
         os << "    iter " << el.iteration << ": fixed attr " << el.attr
            << "=" << el.value << " (kept func " << el.kept << "), pruned";
         for (int p : el.pruned) os << " " << p;
+        os << "\n";
+      }
+      for (const AdclPrune& p : a.prunes) {
+        os << "    iter " << p.iteration << ": guideline-pruned func "
+           << p.func;
+        if (p.bound > 0.0) {
+          os << " (mock-up bound " << us(p.bound) << " us)";
+        } else {
+          os << " (pre-marked dominated)";
+        }
         os << "\n";
       }
     }

@@ -83,6 +83,8 @@ const char* ctr_name(Ctr c) noexcept {
       return "adcl.eliminations";
     case Ctr::AdclRetunes:
       return "adcl.retunes";
+    case Ctr::AdclGuidelinePrunes:
+      return "adcl.guideline_prunes";
     case Ctr::FaultDrops:
       return "fault.drops";
     case Ctr::FaultDups:

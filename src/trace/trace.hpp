@@ -79,6 +79,7 @@ enum class Ctr : std::uint8_t {
   AdclSamplesFiltered,    ///< samples discarded by the filter
   AdclEliminations,       ///< attribute-heuristic pruning steps
   AdclRetunes,            ///< drift detections that re-opened tuning
+  AdclGuidelinePrunes,    ///< members convicted by guideline verdicts
   FaultDrops,             ///< messages dropped by the injector
   FaultDups,              ///< messages duplicated by the injector
   FaultDegradedMsgs,      ///< messages shipped through a degradation window

@@ -12,6 +12,7 @@
 
 #include "adcl/filtering.hpp"
 #include "adcl/functionsets.hpp"
+#include "adcl/guidelines.hpp"
 #include "adcl/selection.hpp"
 
 using namespace nbctune;
@@ -213,6 +214,118 @@ TEST(TwoKFactorial, HandlesCorrelatedSurfaces) {
   const auto& w = fset->function(r.winner).attrs;
   EXPECT_EQ(w[0] ^ w[1], 0);
   EXPECT_EQ(w[2], 0);
+}
+
+// ------------------------------------------------- GuidelinePrunedPolicy
+
+namespace {
+
+/// Drive the guideline-pruned policy against a cost oracle and a book.
+DrivenResult drive_pruned(const FunctionSet& fset, const GuidelineBook& book,
+                          const std::function<double(int)>& cost) {
+  auto policy = make_policy(PolicyKind::GuidelinePruned, fset, &book);
+  DrivenResult r;
+  int f = policy->first();
+  while (f >= 0) {
+    r.visited.push_back(f);
+    f = policy->next(f, cost(f));
+  }
+  r.winner = policy->winner();
+  return r;
+}
+
+}  // namespace
+
+TEST(GuidelinePruned, MockupBoundConvictsAfterOneMeasurement) {
+  auto fset = make_ialltoall_functionset();  // linear, dissemination, pairwise
+  GuidelineBook book;
+  // Bound 1.0 s/iter, epsilon 0.25: any score above 1.25 is convicted.
+  book.add_mockup("split:mockup", 1.0);
+  auto cost = [](int f) { return f == 2 ? 0.9 : 3.0; };
+  auto policy = make_policy(PolicyKind::GuidelinePruned, *fset, &book);
+  DrivenResult r;
+  int f = policy->first();
+  while (f >= 0) {
+    r.visited.push_back(f);
+    f = policy->next(f, cost(f));
+  }
+  r.winner = policy->winner();
+  EXPECT_EQ(r.winner, 2);
+  // Every member is measured at most once: conviction needs no repeats.
+  EXPECT_EQ(r.visited.size(), fset->size());
+  // Both losers carry an audit record naming the convicting guideline.
+  const auto& elims = policy->eliminations();
+  ASSERT_EQ(elims.size(), 2u);
+  for (const auto& e : elims) {
+    EXPECT_EQ(e.guideline, "split:mockup");
+    EXPECT_DOUBLE_EQ(e.bound, 1.0);
+    EXPECT_EQ(e.attr, -1);  // marks a guideline prune, not an attr sweep
+    ASSERT_EQ(e.pruned.size(), 1u);
+    EXPECT_NE(e.pruned[0], 2);
+  }
+}
+
+TEST(GuidelinePruned, PreMarkedMemberIsNeverMeasured) {
+  auto fset = make_ialltoall_functionset();
+  GuidelineBook book;
+  book.mark_dominated("linear", "prior-report:G2");
+  auto r = drive_pruned(*fset, book, [](int f) { return 1.0 + f; });
+  // linear is index 0: convicted before the first measurement.
+  for (int v : r.visited) EXPECT_NE(v, 0);
+  EXPECT_EQ(r.winner, 1);  // dissemination is cheapest of the survivors
+  auto policy = make_policy(PolicyKind::GuidelinePruned, *fset, &book);
+  (void)policy->first();
+  ASSERT_EQ(policy->eliminations().size(), 1u);
+  EXPECT_EQ(policy->eliminations()[0].guideline, "prior-report:G2");
+  EXPECT_DOUBLE_EQ(policy->eliminations()[0].bound, 0.0);  // pre-marked
+}
+
+TEST(GuidelinePruned, NeverPrunesTheLastSurvivor) {
+  auto fset = make_ialltoall_functionset();
+  GuidelineBook book;
+  // Every member violates this bound and all are pre-marked: the policy
+  // must still deliver a winner.
+  book.add_mockup("impossible", 1e-12);
+  for (const auto& fn : fset->functions()) {
+    book.mark_dominated(fn.name, "overzealous");
+  }
+  auto r = drive_pruned(*fset, book, [](int) { return 1.0; });
+  EXPECT_GE(r.winner, 0);
+  EXPECT_LT(r.winner, static_cast<int>(fset->size()));
+}
+
+TEST(GuidelinePruned, EmptyBookDegeneratesToBruteForce) {
+  auto fset = synthetic_fset({{"a", {0, 1, 2}}, {"b", {0, 1}}});
+  auto cost = [](const std::vector<int>& v) {
+    return 1.0 + v[0] * 0.3 + v[1] * 0.1;
+  };
+  GuidelineBook empty;
+  auto r = drive_pruned(*fset, empty,
+                        [&](int f) { return cost(fset->function(f).attrs); });
+  EXPECT_EQ(r.visited.size(), fset->size());
+  EXPECT_EQ(r.winner, oracle_best(*fset, cost));
+  auto policy = make_policy(PolicyKind::GuidelinePruned, *fset, &empty);
+  (void)policy->first();
+  EXPECT_TRUE(policy->eliminations().empty());
+}
+
+TEST(GuidelinePruned, PinnedWinnerDropsConstructorPrunes) {
+  // A history-pinned run (force_winner) bypasses the policy, so any
+  // pre-marked convictions adopted during construction must not survive
+  // into the audit (or, downstream, the trace): pinned runs are
+  // byte-identical with and without a guideline book.
+  auto fset = make_ialltoall_functionset();
+  auto book = std::make_shared<GuidelineBook>();
+  book->mark_dominated("linear", "prior-report:G2");
+  TuningOptions opts;
+  opts.policy = PolicyKind::GuidelinePruned;
+  opts.guidelines = book;
+  SelectionState sel(fset, opts);
+  EXPECT_FALSE(sel.eliminations().empty());  // adopted at construction
+  sel.force_winner(2);
+  EXPECT_TRUE(sel.decided());
+  EXPECT_EQ(sel.winner(), 2);
+  EXPECT_TRUE(sel.eliminations().empty());   // dropped by the pin
 }
 
 // ------------------------------------------------- built-in set shapes

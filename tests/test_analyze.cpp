@@ -17,6 +17,7 @@
 #include "adcl/selection.hpp"
 #include "analyze/analyze.hpp"
 #include "analyze/chrome_reader.hpp"
+#include "analyze/regress.hpp"
 #include "coll/ibcast.hpp"
 #include "harness/scenario_pool.hpp"
 #include "mpi/world.hpp"
@@ -93,6 +94,7 @@ TEST(AnalyzeLabel, ParsesMicrobenchConvention) {
   EXPECT_EQ(k.what, "adcl:brute-force");
   EXPECT_EQ(k.group(), "ibcast whale np32 4096B");
   EXPECT_EQ(k.size_group(), "ibcast whale np32 adcl:brute-force");
+  EXPECT_EQ(k.rank_group(), "ibcast whale 4096B adcl:brute-force");
 }
 
 TEST(AnalyzeLabel, SplitsPlanAndExecSuffixes) {
@@ -190,7 +192,7 @@ TEST(AnalyzeGolden, TwoRankIbcastCriticalPath) {
 
   // G1 evaluated and passing; the label is not microbench-shaped, so the
   // comparative guidelines stay n/a.
-  ASSERT_EQ(r.guidelines.size(), 4u);
+  ASSERT_EQ(r.guidelines.size(), 6u);
   EXPECT_EQ(r.guidelines[0].id, "G1");
   EXPECT_EQ(r.guidelines[0].checked, 1);
   EXPECT_EQ(r.guidelines[0].passed, 1);
@@ -486,6 +488,283 @@ TEST(AnalyzeGuidelines, MonotoneInMessageSize) {
   EXPECT_EQ(find_g(bad, "G4").passed, 0);
 }
 
+TEST(AnalyzeGuidelines, SplitMockupBoundsDoubledSize) {
+  // G5: the full-size op may cost at most 2x the half-size op (+epsilon),
+  // because running the op twice at half size is a valid mock-up.
+  const analyze::Report ok = analyze::analyze({
+      synth("ibcast whale np4 1024B fixed:a", 2, 100e-6),
+      synth("ibcast whale np4 2048B fixed:a", 2, 190e-6),
+  });
+  EXPECT_EQ(find_g(ok, "G5").checked, 1);
+  EXPECT_EQ(find_g(ok, "G5").passed, 1);
+
+  // 2.6x the half-size time exceeds 2x(1 + 0.25): a split would win.
+  const analyze::Report bad = analyze::analyze({
+      synth("ibcast whale np4 1024B fixed:a", 2, 100e-6),
+      synth("ibcast whale np4 2048B fixed:a", 2, 260e-6),
+  });
+  EXPECT_EQ(find_g(bad, "G5").checked, 1);
+  EXPECT_EQ(find_g(bad, "G5").passed, 0);
+  ASSERT_EQ(find_g(bad, "G5").violations.size(), 1u);
+
+  // Non-doubling adjacent sizes (1 KiB -> 4 KiB) are not split pairs.
+  const analyze::Report na = analyze::analyze({
+      synth("ibcast whale np4 1024B fixed:a", 2, 100e-6),
+      synth("ibcast whale np4 4096B fixed:a", 2, 900e-6),
+  });
+  EXPECT_EQ(find_g(na, "G5").checked, 0);
+}
+
+TEST(AnalyzeGuidelines, MonotoneInProcessCount) {
+  // G6: growing np at fixed size/impl may not make the collective faster
+  // (beyond the monotonicity tolerance).
+  const analyze::Report ok = analyze::analyze({
+      synth("ibcast whale np4 1024B fixed:a", 2, 100e-6),
+      synth("ibcast whale np8 1024B fixed:a", 2, 140e-6),
+      synth("ibcast whale np16 1024B fixed:a", 2, 200e-6),
+  });
+  EXPECT_EQ(find_g(ok, "G6").checked, 2);
+  EXPECT_EQ(find_g(ok, "G6").passed, 2);
+
+  const analyze::Report bad = analyze::analyze({
+      synth("ibcast whale np4 1024B fixed:a", 2, 100e-6),
+      synth("ibcast whale np8 1024B fixed:a", 2, 50e-6),
+  });
+  EXPECT_EQ(find_g(bad, "G6").checked, 1);
+  EXPECT_EQ(find_g(bad, "G6").passed, 0);
+
+  // Different sizes land in different rank groups: nothing to compare.
+  const analyze::Report na = analyze::analyze({
+      synth("ibcast whale np4 1024B fixed:a", 2, 100e-6),
+      synth("ibcast whale np8 2048B fixed:a", 2, 50e-6),
+  });
+  EXPECT_EQ(find_g(na, "G6").checked, 0);
+}
+
+TEST(AnalyzeAdcl, PruneEventsLandInAudit) {
+  const analyze::ScenarioTrace tr = traced("ialltoall whale np2 64B adcl:g",
+                                           [] {
+    trace::instant(1.0, 0, trace::Cat::Adcl, "adcl.prune", "func", 0,
+                   "bound_ns", 45000, 2);
+    trace::instant(2.0, 0, trace::Cat::Adcl, "adcl.prune", "func", 1,
+                   "bound_ns", 45000, 4);
+    trace::instant(3.0, 0, trace::Cat::Adcl, "adcl.decision", "winner", 2,
+                   "iter", 6, 6);
+  });
+  const analyze::Report r = analyze::analyze({tr});
+  const analyze::AdclAudit& a = r.scenarios.at(0).adcl;
+  ASSERT_TRUE(a.present);
+  ASSERT_EQ(a.prunes.size(), 2u);
+  EXPECT_EQ(a.prunes[0].func, 0);
+  EXPECT_NEAR(a.prunes[0].bound, 45000e-9, 1e-15);
+  EXPECT_EQ(a.prunes[0].iteration, 2);
+  EXPECT_EQ(a.prunes[1].func, 1);
+  EXPECT_EQ(a.prunes[1].iteration, 4);
+
+  // The prunes ride the JSON report as a conditional array.
+  std::ostringstream os;
+  analyze::write_json(os, r);
+  EXPECT_NE(os.str().find("\"prunes\":[{\"func\":0,\"bound_ns\":45000"),
+            std::string::npos);
+}
+
+// --------------------------------------------------------- sample stats
+
+TEST(AnalyzeStats, OrderStatsMedianAndCi) {
+  // n = 9, samples 1..9 ms (shuffled): median is the 5th order statistic;
+  // the ~95% CI ranks are (n-1)/2 +- 0.98*sqrt(9) = 4 +- 2.94, i.e.
+  // floor(1.06) = 1 and ceil(6.94) = 7 -> bounds v[1] and v[7].
+  std::vector<double> v;
+  for (int i = 9; i >= 1; --i) v.push_back(i * 1e-3);
+  const analyze::SampleStats st = analyze::order_stats(v);
+  EXPECT_EQ(st.n, 9u);
+  EXPECT_DOUBLE_EQ(st.median, 5e-3);
+  EXPECT_DOUBLE_EQ(st.lo, 2e-3);
+  EXPECT_DOUBLE_EQ(st.hi, 8e-3);
+
+  // Even n: the median interpolates the two central order statistics.
+  const analyze::SampleStats ev =
+      analyze::order_stats({4e-3, 1e-3, 3e-3, 2e-3});
+  EXPECT_EQ(ev.n, 4u);
+  EXPECT_DOUBLE_EQ(ev.median, 2.5e-3);
+  // Ranks 1.5 +- 1.96 clamp to the full sample.
+  EXPECT_DOUBLE_EQ(ev.lo, 1e-3);
+  EXPECT_DOUBLE_EQ(ev.hi, 4e-3);
+
+  // Degenerate sizes.
+  const analyze::SampleStats one = analyze::order_stats({7e-3});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.median, 7e-3);
+  EXPECT_DOUBLE_EQ(one.lo, 7e-3);
+  EXPECT_DOUBLE_EQ(one.hi, 7e-3);
+  EXPECT_EQ(analyze::order_stats({}).n, 0u);
+}
+
+TEST(AnalyzeStats, MinRepsGateFlagsThinSamples) {
+  // 3 ops with default min_reps = 5: flagged as not-a-measurement.
+  const analyze::Report thin =
+      analyze::analyze({synth("thin", 3, 100e-6)});
+  EXPECT_EQ(thin.scenarios.at(0).op_stats.n, 3u);
+  EXPECT_FALSE(thin.scenarios.at(0).min_reps_met);
+
+  const analyze::Report fat = analyze::analyze({synth("fat", 6, 100e-6)});
+  EXPECT_EQ(fat.scenarios.at(0).op_stats.n, 6u);
+  EXPECT_TRUE(fat.scenarios.at(0).min_reps_met);
+
+  // The knob is honoured.
+  analyze::Options opts;
+  opts.min_reps = 2;
+  const analyze::Report low =
+      analyze::analyze({synth("thin", 3, 100e-6)}, opts);
+  EXPECT_TRUE(low.scenarios.at(0).min_reps_met);
+
+  // The table writer surfaces the flag.
+  std::ostringstream os;
+  analyze::write_table(os, thin);
+  EXPECT_NE(os.str().find("[below min-reps: not a measurement]"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------- regression gate
+
+namespace {
+
+/// Round-trip a Report through the JSON writer into a regress digest.
+analyze::ReportDigest digest_of(const analyze::Report& r) {
+  std::ostringstream os;
+  analyze::write_json(os, r);
+  std::istringstream is(os.str());
+  return analyze::read_report_json(is);
+}
+
+}  // namespace
+
+TEST(AnalyzeRegress, SelfDiffIsClean) {
+  const analyze::Report r = analyze::analyze({
+      synth("ibcast whale np4 1024B fixed:a", 6, 100e-6),
+      synth("ibcast whale np4 2048B fixed:a", 6, 190e-6),
+  });
+  const analyze::ReportDigest d = digest_of(r);
+  EXPECT_EQ(d.schema, "nbctune-report-v2");
+  ASSERT_EQ(d.scenarios.size(), 2u);
+  EXPECT_EQ(d.scenarios[0].stat_n, 6u);
+
+  const analyze::RegressResult res =
+      analyze::regress(d, d, analyze::RegressTolerances{});
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.scenarios_compared, 2u);
+  EXPECT_EQ(res.guidelines_compared, 6u);
+}
+
+TEST(AnalyzeRegress, InjectedDriftFails) {
+  const analyze::Report old_r =
+      analyze::analyze({synth("ibcast whale np4 1024B fixed:a", 6, 100e-6)});
+  // 3x the op time: relative drift 2.0 >> op_rel, and the degenerate CIs
+  // ([100,100] vs [300,300] us) are disjoint, so the CI arbitration does
+  // not save it.
+  const analyze::Report new_r =
+      analyze::analyze({synth("ibcast whale np4 1024B fixed:a", 6, 300e-6)});
+  const analyze::RegressResult res = analyze::regress(
+      digest_of(old_r), digest_of(new_r), analyze::RegressTolerances{});
+  ASSERT_FALSE(res.ok());
+  bool saw_op_drift = false;
+  for (const auto& v : res.violations) {
+    if (v.what.find("mean op time drifted") != std::string::npos) {
+      saw_op_drift = true;
+    }
+  }
+  EXPECT_TRUE(saw_op_drift);
+
+  std::ostringstream os;
+  analyze::write_regress(os, res, analyze::RegressTolerances{});
+  EXPECT_NE(os.str().find("REGRESSION:"), std::string::npos);
+}
+
+TEST(AnalyzeRegress, CiOverlapForgivesSubstantialDrift) {
+  // With CI arbitration off, a 40% drift fails outright...
+  analyze::ReportDigest o;
+  o.schema = "nbctune-report-v2";
+  analyze::ScenarioDigest s;
+  s.label = "x";
+  s.mean_op = 100e-6;
+  s.stat_n = 9;
+  s.ci_lo = 80e-6;
+  s.ci_hi = 160e-6;
+  o.scenarios.push_back(s);
+  analyze::ReportDigest n = o;
+  n.scenarios[0].mean_op = 140e-6;
+  n.scenarios[0].ci_lo = 90e-6;
+  n.scenarios[0].ci_hi = 200e-6;
+
+  analyze::RegressTolerances strict;
+  strict.ci_separation = false;
+  EXPECT_FALSE(analyze::regress(o, n, strict).ok());
+
+  // ...but with overlapping ~95% CIs the runs are compatible: forgiven.
+  analyze::RegressTolerances lenient;
+  lenient.ci_separation = true;
+  EXPECT_TRUE(analyze::regress(o, n, lenient).ok());
+
+  // Disjoint CIs at the same relative drift: a real regression.
+  n.scenarios[0].ci_lo = 170e-6;
+  n.scenarios[0].ci_hi = 210e-6;
+  EXPECT_FALSE(analyze::regress(o, n, lenient).ok());
+}
+
+TEST(AnalyzeRegress, StructuralChangesAlwaysFlagged) {
+  const analyze::Report base =
+      analyze::analyze({synth("ibcast whale np4 1024B fixed:a", 6, 100e-6)});
+  const analyze::ReportDigest d = digest_of(base);
+
+  // A scenario vanishing from the new report is a violation.
+  analyze::ReportDigest gone = d;
+  gone.scenarios.clear();
+  EXPECT_FALSE(analyze::regress(d, gone, analyze::RegressTolerances{}).ok());
+
+  // So is a winner flip.
+  analyze::ReportDigest o = d, n = d;
+  o.scenarios[0].has_adcl = true;
+  o.scenarios[0].adcl_winner = 0;
+  n.scenarios[0].has_adcl = true;
+  n.scenarios[0].adcl_winner = 2;
+  const analyze::RegressResult flip =
+      analyze::regress(o, n, analyze::RegressTolerances{});
+  ASSERT_FALSE(flip.ok());
+  EXPECT_NE(flip.violations[0].what.find("winner flipped"),
+            std::string::npos);
+
+  // And a guideline regressing from pass to fail.
+  analyze::ReportDigest gbad = d;
+  for (auto& g : gbad.guidelines) {
+    if (g.id == "G1") g.violations = 1;
+  }
+  EXPECT_FALSE(analyze::regress(d, gbad, analyze::RegressTolerances{}).ok());
+}
+
+TEST(AnalyzeRegress, ToleranceParsing) {
+  analyze::RegressTolerances tol;
+  EXPECT_TRUE(tol.set("blame_share", "0.2"));
+  EXPECT_DOUBLE_EQ(tol.blame_share, 0.2);
+  EXPECT_TRUE(tol.set("ci_separation", "0"));
+  EXPECT_FALSE(tol.ci_separation);
+  EXPECT_FALSE(tol.set("bogus_key", "1"));
+  EXPECT_FALSE(tol.set("op_rel", "fast"));
+
+  std::istringstream cfg(
+      "# comment\n\nblame_share 0.15  # trailing comment\nop_rel 0.5\n");
+  analyze::read_tolerances(cfg, tol);
+  EXPECT_DOUBLE_EQ(tol.blame_share, 0.15);
+  EXPECT_DOUBLE_EQ(tol.op_rel, 0.5);
+
+  std::istringstream bad("no_such_knob 1\n");
+  EXPECT_THROW(analyze::read_tolerances(bad, tol), std::runtime_error);
+}
+
+TEST(AnalyzeRegress, RejectsForeignJson) {
+  std::istringstream not_a_report("{\"traceEvents\":[]}");
+  EXPECT_THROW(analyze::read_report_json(not_a_report), std::runtime_error);
+}
+
 // ------------------------------------------------- report determinism
 
 TEST(AnalyzeReport, JsonIsByteIdenticalAcrossThreadCounts) {
@@ -509,7 +788,8 @@ TEST(AnalyzeReport, JsonIsByteIdenticalAcrossThreadCounts) {
   const std::string j1 = sweep(1);
   const std::string j4 = sweep(4);
   EXPECT_EQ(j1, j4);
-  EXPECT_NE(j1.find("\"schema\":\"nbctune-report-v1\""), std::string::npos);
+  EXPECT_NE(j1.find("\"schema\":\"nbctune-report-v2\""), std::string::npos);
+  EXPECT_NE(j1.find("\"stats\":{\"min_reps_met\":"), std::string::npos);
   EXPECT_NE(j1.find("\"guidelines\":["), std::string::npos);
 }
 

@@ -1,4 +1,6 @@
-// nbctune-analyze: offline trace analysis.
+// nbctune-analyze: offline trace analysis and report regression gating.
+//
+// Analysis mode (default):
 //
 //   nbctune-analyze [options] trace.json [trace2.json ...]
 //
@@ -8,14 +10,33 @@
 //                       docs/ARCHITECTURE.md for the schema)
 //   --out FILE          write the report there instead of stdout
 //   --epsilon X         guideline tolerance (default 0.25)
+//   --min-reps N        repetitions below which a scenario's stats are
+//                       flagged as not-a-measurement (default 5)
 //
 // Reads the Chrome trace-event JSON exported by any bench driver's
 // --trace flag, reconstructs the per-scenario event streams, and runs
 // the full analysis pass: critical paths with blame breakdowns, overlap
-// and slack accounting, the ADCL decision audit and the performance
-// guidelines (G1-G4).  Multiple trace files are concatenated into one
-// scenario list, so a combined report over several drivers is a single
-// invocation.
+// and slack accounting, repetition-aware statistics (median + ~95% CI),
+// the ADCL decision audit and the performance guidelines (G1-G6).
+// Multiple trace files are concatenated into one scenario list, so a
+// combined report over several drivers is a single invocation.
+//
+// Regression mode:
+//
+//   nbctune-analyze --regress old.json new.json [options]
+//
+//   --tolerance KEY=VAL   override one tolerance (repeatable); keys:
+//                         blame_share, op_rel, overlap, ci_separation
+//   --tolerance-config F  read `key value` lines from F
+//   --out FILE            write the diff summary there instead of stdout
+//
+// Diffs two report JSONs (old golden vs. fresh run) semantically and
+// exits 4 when blame shares, overlap, op times (CI-arbitrated), ADCL
+// winners or guideline verdicts drift beyond tolerance.  See
+// docs/METHODOLOGY.md for how to read a failure.
+//
+// Exit codes: 0 ok, 1 I/O or parse error, 2 usage, 3 guideline failure
+// (analysis mode), 4 regression beyond tolerance (regress mode).
 
 #include <cstring>
 #include <fstream>
@@ -26,14 +47,62 @@
 
 #include "analyze/analyze.hpp"
 #include "analyze/chrome_reader.hpp"
+#include "analyze/regress.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--counters FILE] [--report=json|table] [--out FILE]"
-               " [--epsilon X] trace.json...\n";
+               " [--epsilon X] [--min-reps N] trace.json...\n"
+               "       "
+            << argv0
+            << " --regress old.json new.json [--tolerance KEY=VAL]..."
+               " [--tolerance-config FILE] [--out FILE]\n";
   return 2;
+}
+
+int run_regress(const std::vector<std::string>& inputs,
+                const nbctune::analyze::RegressTolerances& tol,
+                const std::string& out_path) {
+  using namespace nbctune;
+  if (inputs.size() != 2) {
+    std::cerr << "--regress needs exactly two reports (old new), got "
+              << inputs.size() << "\n";
+    return 2;
+  }
+  analyze::ReportDigest digests[2];
+  for (int i = 0; i < 2; ++i) {
+    std::ifstream is(inputs[i]);
+    if (!is) {
+      std::cerr << "cannot open report: " << inputs[i] << "\n";
+      return 1;
+    }
+    try {
+      digests[i] = analyze::read_report_json(is);
+    } catch (const std::exception& e) {
+      std::cerr << inputs[i] << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+  const analyze::RegressResult res = analyze::regress(digests[0], digests[1], tol);
+  std::ostringstream body;
+  body << "old: " << inputs[0] << " (" << digests[0].schema << ")\n"
+       << "new: " << inputs[1] << " (" << digests[1].schema << ")\n";
+  analyze::write_regress(body, res, tol);
+  if (out_path.empty()) {
+    std::cout << body.str();
+  } else {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::cerr << "cannot write regress summary: " << out_path << "\n";
+      return 1;
+    }
+    os << body.str();
+    std::cerr << (res.ok() ? "regress: OK -> " : "regress: REGRESSION -> ")
+              << out_path << "\n";
+  }
+  return res.ok() ? 0 : 4;
 }
 
 }  // namespace
@@ -44,7 +113,9 @@ int main(int argc, char** argv) {
   std::string counters_path;
   std::string out_path;
   bool json = false;
+  bool regress_mode = false;
   analyze::Options opts;
+  analyze::RegressTolerances tol;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strcmp(a, "--counters") == 0 && i + 1 < argc) {
@@ -53,6 +124,31 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(a, "--epsilon") == 0 && i + 1 < argc) {
       opts.epsilon = std::atof(argv[++i]);
+    } else if (std::strcmp(a, "--min-reps") == 0 && i + 1 < argc) {
+      opts.min_reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(a, "--regress") == 0) {
+      regress_mode = true;
+    } else if (std::strcmp(a, "--tolerance") == 0 && i + 1 < argc) {
+      const std::string kv = argv[++i];
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos ||
+          !tol.set(kv.substr(0, eq), kv.substr(eq + 1))) {
+        std::cerr << "bad --tolerance setting: " << kv << "\n";
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(a, "--tolerance-config") == 0 && i + 1 < argc) {
+      const char* path = argv[++i];
+      std::ifstream is(path);
+      if (!is) {
+        std::cerr << "cannot open tolerance config: " << path << "\n";
+        return 1;
+      }
+      try {
+        analyze::read_tolerances(is, tol);
+      } catch (const std::exception& e) {
+        std::cerr << path << ": " << e.what() << "\n";
+        return 1;
+      }
     } else if (std::strcmp(a, "--report=json") == 0) {
       json = true;
     } else if (std::strcmp(a, "--report=table") == 0 ||
@@ -68,6 +164,7 @@ int main(int argc, char** argv) {
     }
   }
   if (inputs.empty()) return usage(argv[0]);
+  if (regress_mode) return run_regress(inputs, tol, out_path);
 
   std::vector<analyze::ScenarioTrace> traces;
   for (const std::string& path : inputs) {
