@@ -15,6 +15,7 @@
 #include "harness/microbench.hpp"
 #include "harness/scenario_pool.hpp"
 #include "harness/table.hpp"
+#include "net/topology.hpp"
 #include "trace/trace.hpp"
 
 namespace nbctune::bench {
@@ -36,7 +37,9 @@ namespace nbctune::bench {
 /// (machine: fiberless state machines, scales to 100k+ ranks; outputs
 /// byte-identical to fiber mode wherever both run).  `--fiber-stack N`
 /// sets the per-fiber stack in bytes (fiber mode only; default 256 KiB
-/// or NBCTUNE_FIBER_STACK).
+/// or NBCTUNE_FIBER_STACK).  `--list-platforms` dumps every preset's
+/// node/core/NIC counts, per-level link parameters and hierarchy shape
+/// (net::describe_platform) to stdout and exits before the sweep.
 struct Scale {
   enum class ReportMode { None, Table, Json };
   bool full = false;
@@ -47,6 +50,7 @@ struct Scale {
   std::string counters_path;  ///< flat counter dump output, if set
   ReportMode report = ReportMode::None;
   std::string report_path;  ///< report output file ("" = stderr)
+  bool list_platforms = false;  ///< dump presets and exit (Driver ctor)
   [[nodiscard]] bool tracing() const noexcept {
     return !trace_path.empty() || !counters_path.empty() || reporting();
   }
@@ -91,6 +95,9 @@ struct Scale {
       if (std::strcmp(argv[i], "--fiber-stack") == 0 && i + 1 < argc) {
         s.fiber_stack = static_cast<std::size_t>(std::atoll(argv[++i]));
       }
+      if (std::strcmp(argv[i], "--list-platforms") == 0) {
+        s.list_platforms = true;
+      }
     }
     return s;
   }
@@ -130,6 +137,13 @@ class Driver {
       : name_(std::move(name)),
         scale_(Scale::from_args(argc, argv)),
         pool_(scale_.threads) {
+    if (scale_.list_platforms) {
+      for (const char* p : {"crill", "whale", "whale-tcp", "bgp", "mega"}) {
+        net::describe_platform(std::cout, net::platform_by_name(p));
+        std::cout << "\n";
+      }
+      std::exit(0);
+    }
     if (scale_.tracing()) trace::Session::enable();
   }
 

@@ -4,18 +4,29 @@
 
 #include <stdexcept>
 
+#include "coll/hierarchical.hpp"
 #include "coll/iallgather.hpp"
 #include "coll/iallreduce.hpp"
 #include "coll/ialltoall.hpp"
 #include "coll/ibcast.hpp"
 #include "coll/ineighbor.hpp"
 #include "coll/ireduce.hpp"
+#include "coll/iscatter.hpp"
 
 namespace nbctune::adcl {
 
 namespace {
 int comm_rank(mpi::Ctx& ctx, const OpArgs& a) {
   return a.comm.rank_of_world(ctx.world_rank());
+}
+
+/// Node id of every communicator rank (the hierarchical builders' map).
+std::vector<int> comm_nodes(mpi::Ctx& ctx, const mpi::Comm& comm) {
+  std::vector<int> nodes(static_cast<std::size_t>(comm.size()));
+  for (int r = 0; r < comm.size(); ++r) {
+    nodes[static_cast<std::size_t>(r)] = ctx.world().node_of(comm.world_rank(r));
+  }
+  return nodes;
 }
 
 nbc::Schedule build_a2a(int algo, mpi::Ctx& ctx, const OpArgs& a) {
@@ -67,13 +78,15 @@ std::shared_ptr<FunctionSet> make_ialltoall_functionset(bool include_blocking) {
       std::move(fns));
 }
 
-std::shared_ptr<FunctionSet> make_ibcast_functionset() {
+std::shared_ptr<FunctionSet> make_ibcast_functionset(bool include_two_level) {
   // Fan-out 0 (linear), 1 (chain), 2..5 (k-ary), binomial; segment sizes
   // 32, 64, 128 KB: the paper's 7 x 3 = 21 implementations.
-  AttributeSet attrs{{
+  std::vector<Attribute> attr_list{
       {"fanout", {0, 1, 2, 3, 4, 5, kBcastBinomialAttr}},
       {"segsize", {32 * 1024, 64 * 1024, 128 * 1024}},
-  }};
+  };
+  if (include_two_level) attr_list.push_back({"hier", {0, 1}});
+  AttributeSet attrs(std::move(attr_list));
   std::vector<Function> fns;
   for (int fanout : attrs.at(0).values) {
     for (int seg : attrs.at(1).values) {
@@ -84,7 +97,8 @@ std::shared_ptr<FunctionSet> make_ibcast_functionset() {
           : fanout == 1                  ? std::string("chain")
                                          : "fanout" + std::to_string(fanout);
       f.name = fo + "/seg" + std::to_string(seg / 1024) + "k";
-      f.attrs = {fanout, seg};
+      f.attrs = include_two_level ? std::vector<int>{fanout, seg, 0}
+                                  : std::vector<int>{fanout, seg};
       f.build = [fanout, seg](mpi::Ctx& ctx, const OpArgs& a) {
         const int real_fanout = fanout == kBcastBinomialAttr
                                     ? coll::kFanoutBinomial
@@ -96,8 +110,20 @@ std::shared_ptr<FunctionSet> make_ibcast_functionset() {
       fns.push_back(std::move(f));
     }
   }
-  return std::make_shared<FunctionSet>("ibcast", std::move(attrs),
-                                       std::move(fns));
+  if (include_two_level) {
+    Function f;
+    f.name = "2lvl-binomial";
+    f.attrs = {kBcastBinomialAttr, 32 * 1024, 1};
+    f.build = [](mpi::Ctx& ctx, const OpArgs& a) {
+      return coll::build_ibcast_two_level(comm_rank(ctx, a), a.comm.size(),
+                                          a.rbuf, a.bytes, a.root,
+                                          comm_nodes(ctx, a.comm));
+    };
+    fns.push_back(std::move(f));
+  }
+  return std::make_shared<FunctionSet>(
+      include_two_level ? "ibcast+2lvl" : "ibcast", std::move(attrs),
+      std::move(fns));
 }
 
 std::shared_ptr<FunctionSet> make_iallgather_functionset() {
@@ -163,8 +189,11 @@ std::shared_ptr<FunctionSet> make_ireduce_functionset() {
                                        std::move(fns));
 }
 
-std::shared_ptr<FunctionSet> make_iallreduce_functionset() {
-  AttributeSet attrs{{{"algorithm", {0, 1, 2}}}};
+std::shared_ptr<FunctionSet> make_iallreduce_functionset(
+    bool include_two_level) {
+  std::vector<int> algos{0, 1, 2};
+  if (include_two_level) algos.push_back(3);
+  AttributeSet attrs{{{"algorithm", std::move(algos)}}};
   std::vector<Function> fns(3);
   fns[0].name = "recursive-doubling";
   fns[0].attrs = {0};
@@ -193,7 +222,56 @@ std::shared_ptr<FunctionSet> make_iallreduce_functionset() {
                                        a.sbuf, a.rbuf, a.count, a.dtype,
                                        a.op);
   };
-  return std::make_shared<FunctionSet>("iallreduce", std::move(attrs),
+  if (include_two_level) {
+    Function f;
+    f.name = "2lvl-reduce-bcast";
+    f.attrs = {3};
+    f.build = [](mpi::Ctx& ctx, const OpArgs& a) {
+      return coll::build_iallreduce_two_level(comm_rank(ctx, a), a.comm.size(),
+                                              a.sbuf, a.rbuf, a.count, a.dtype,
+                                              a.op, comm_nodes(ctx, a.comm));
+    };
+    fns.push_back(std::move(f));
+  }
+  return std::make_shared<FunctionSet>(
+      include_two_level ? "iallreduce+2lvl" : "iallreduce", std::move(attrs),
+      std::move(fns));
+}
+
+std::shared_ptr<FunctionSet> make_iscatter_functionset(int nrails) {
+  if (nrails <= 0) {
+    throw std::invalid_argument("iscatter function-set: bad rail count");
+  }
+  AttributeSet attrs{{{"mapping", {0, 1, 2, 3}}}};
+  std::vector<Function> fns(4);
+  fns[0].name = "linear";
+  fns[0].attrs = {0};
+  fns[0].build = [](mpi::Ctx& ctx, const OpArgs& a) {
+    return coll::build_iscatter_linear(comm_rank(ctx, a), a.comm.size(),
+                                       a.sbuf, a.rbuf, a.bytes, a.root);
+  };
+  fns[1].name = "fan-rail0";
+  fns[1].attrs = {1};
+  fns[1].build = [](mpi::Ctx& ctx, const OpArgs& a) {
+    return coll::build_iscatter_fan(comm_rank(ctx, a), a.comm.size(), a.sbuf,
+                                    a.rbuf, a.bytes, a.root, /*rail=*/0);
+  };
+  fns[2].name = "rail";
+  fns[2].attrs = {2};
+  fns[2].build = [nrails](mpi::Ctx& ctx, const OpArgs& a) {
+    return coll::build_iscatter_rail(comm_rank(ctx, a), a.comm.size(), a.sbuf,
+                                     a.rbuf, a.bytes, a.root, nrails);
+  };
+  fns[3].name = "striped";
+  fns[3].attrs = {3};
+  fns[3].build = [](mpi::Ctx& ctx, const OpArgs& a) {
+    const auto stripes =
+        ctx.world().machine().topology().plan_stripes(a.bytes);
+    return coll::build_iscatter_striped(comm_rank(ctx, a), a.comm.size(),
+                                        a.sbuf, a.rbuf, a.bytes, a.root,
+                                        stripes);
+  };
+  return std::make_shared<FunctionSet>("iscatter", std::move(attrs),
                                        std::move(fns));
 }
 

@@ -34,7 +34,11 @@ inline constexpr int kBcastBinomialAttr = 99;
 std::shared_ptr<FunctionSet> make_ialltoall_functionset(
     bool include_blocking = false);
 
-std::shared_ptr<FunctionSet> make_ibcast_functionset();
+/// `include_two_level` extends the paper's 21-member set with an extra
+/// "hier" attribute and the hierarchy-aware "2lvl-binomial" member
+/// (binomial over node leaders + intra-node fan-out; coll/hierarchical).
+std::shared_ptr<FunctionSet> make_ibcast_functionset(
+    bool include_two_level = false);
 
 std::shared_ptr<FunctionSet> make_iallgather_functionset();
 
@@ -42,7 +46,17 @@ std::shared_ptr<FunctionSet> make_ireduce_functionset();
 
 /// Allreduce: recursive doubling (ring fallback off powers of two),
 /// binomial reduce+broadcast, ring reduce-scatter+allgather.
-std::shared_ptr<FunctionSet> make_iallreduce_functionset();
+/// `include_two_level` adds "2lvl-reduce-bcast" (intra-node reduce to the
+/// node leader, leader-level reduce+broadcast, intra-node result fan-out).
+std::shared_ptr<FunctionSet> make_iallreduce_functionset(
+    bool include_two_level = false);
+
+/// Scatter across the root's NIC rails (multi-rail platforms; attribute
+/// "mapping"): "linear" uses the transport's default per-peer spread,
+/// "fan-rail0" pins every transfer to rail 0 (the single-HCA choke),
+/// "rail" round-robins whole blocks across `nrails`, "striped" splits
+/// each block into per-rail stripes (Topology::plan_stripes).
+std::shared_ptr<FunctionSet> make_iscatter_functionset(int nrails);
 
 /// Cartesian neighborhood (halo) exchange on `topo` — ADCL's original
 /// operation family (paper §III-A).  The topology must match the

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "net/platform.hpp"
 #include "trace/trace.hpp"
 
 namespace nbctune::analyze {
@@ -67,8 +68,13 @@ LabelKey parse_label(const std::string& label) {
   k.nprocs = std::atoi(np.c_str() + 2);
   k.bytes = std::strtoull(by.substr(0, by.size() - 1).c_str(), nullptr, 10);
   k.what = tok[4];
-  // Suffixes append in order "<what>[+plan=NAME][+exec=MODE]", so strip
-  // the exec tag first or it would be swallowed into the plan name.
+  // Suffixes append in order "<what>[+plan=NAME][+exec=MODE][+topo=TAG]",
+  // so strip from the outside in or an inner tag would swallow the rest.
+  const std::size_t topo = k.what.find("+topo=");
+  if (topo != std::string::npos) {
+    k.topo = k.what.substr(topo + 6);
+    k.what.resize(topo);
+  }
   const std::size_t exec = k.what.find("+exec=");
   if (exec != std::string::npos) {
     k.exec = k.what.substr(exec + 6);
@@ -87,6 +93,7 @@ std::string LabelKey::group() const {
                   " " + std::to_string(bytes) + "B";
   if (!plan.empty()) g += " plan=" + plan;
   if (!exec.empty()) g += " exec=" + exec;
+  if (!topo.empty()) g += " topo=" + topo;
   return g;
 }
 
@@ -95,6 +102,7 @@ std::string LabelKey::size_group() const {
       op + " " + platform + " np" + std::to_string(nprocs) + " " + what;
   if (!plan.empty()) g += " plan=" + plan;
   if (!exec.empty()) g += " exec=" + exec;
+  if (!topo.empty()) g += " topo=" + topo;
   return g;
 }
 
@@ -103,6 +111,7 @@ std::string LabelKey::rank_group() const {
       op + " " + platform + " " + std::to_string(bytes) + "B " + what;
   if (!plan.empty()) g += " plan=" + plan;
   if (!exec.empty()) g += " exec=" + exec;
+  if (!topo.empty()) g += " topo=" + topo;
   return g;
 }
 
@@ -797,6 +806,60 @@ std::vector<GuidelineResult> check_guidelines(
           v += " at np" + std::to_string(sorted[i + 1].key.nprocs) + " < ";
           fmt_ns(v, small);
           v += " at np" + std::to_string(sorted[i].key.nprocs);
+          g.violations.push_back(std::move(v));
+        }
+      }
+    }
+    out.push_back(std::move(g));
+  }
+
+  // G7: on multi-node runs a hierarchy-aware two-level implementation is
+  // no slower than its flat counterpart (tolerance epsilon) — topology
+  // awareness must earn back its extra intra-node hop.  Single-node runs
+  // are skipped: the two-level shape degenerates to the flat one there.
+  {
+    GuidelineResult g;
+    g.id = "G7";
+    g.description =
+        "two-level variant <= flat counterpart on multi-node runs";
+    for (const auto& [key, cells] : groups) {
+      for (const Cell& two : cells) {
+        constexpr std::string_view kPrefix = "fixed:2lvl-";
+        if (two.key.what.rfind(kPrefix.data(), 0) != 0) continue;
+        bool multi_node = false;
+        try {
+          const net::Platform p = net::platform_by_name(two.key.platform);
+          multi_node = two.key.nprocs > p.cores_per_node;
+        } catch (const std::exception&) {
+          continue;  // unknown platform: no node geometry to reason about
+        }
+        if (!multi_node) continue;
+        // Flat twin: same name without the 2lvl- prefix, exactly or as a
+        // segmented family ("binomial/seg32k" twins "2lvl-binomial"); the
+        // fastest family member is the reference.
+        const std::string flat =
+            "fixed:" + two.key.what.substr(kPrefix.size());
+        const ScenarioReport* best = nullptr;
+        for (const Cell& c : cells) {
+          if (c.key.what != flat && c.key.what.rfind(flat + "/", 0) != 0) {
+            continue;
+          }
+          if (best == nullptr ||
+              c.s->mean_op_elapsed < best->mean_op_elapsed) {
+            best = c.s;
+          }
+        }
+        if (best == nullptr) continue;
+        ++g.checked;
+        if (two.s->mean_op_elapsed <=
+            best->mean_op_elapsed * (1.0 + opts.epsilon)) {
+          ++g.passed;
+        } else {
+          std::string v = two.s->label + ": two-level ";
+          fmt_ns(v, two.s->mean_op_elapsed);
+          v += " > flat ";
+          fmt_ns(v, best->mean_op_elapsed);
+          v += " (" + best->label + ")";
           g.violations.push_back(std::move(v));
         }
       }

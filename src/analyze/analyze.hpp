@@ -18,7 +18,7 @@
 //   * an ADCL decision audit: every agreed batch score, the winner, the
 //     margin over the runner-up and the decision iteration, replayed
 //     from adcl.score / adcl.decision events;
-//   * performance-guideline checks over the whole scenario set (G1-G6
+//   * performance-guideline checks over the whole scenario set (G1-G7
 //     below), the trace-level analogue of the self-consistent-performance
 //     rules the paper's tuning results are expected to satisfy;
 //   * repetition-aware statistics per scenario: median and nonparametric
@@ -260,7 +260,7 @@ struct ScenarioReport {
 
 /// Outcome of one performance-guideline check.
 struct GuidelineResult {
-  std::string id;           ///< "G1".."G6"
+  std::string id;           ///< "G1".."G7"
   std::string description;
   int checked = 0;  ///< comparisons evaluated
   int passed = 0;
@@ -321,7 +321,9 @@ void write_table(std::ostream& os, const Report& report);
 /// (microbench convention; see harness/microbench.cpp).  A fault plan
 /// rides in the last token as "<what>+plan=<name>" and is split off into
 /// `plan`; a non-default execution mode rides after it as "+exec=<mode>"
-/// and is split off into `exec`.  `valid` is false for labels of other
+/// and is split off into `exec`; a topology tag rides last as
+/// "+topo=<tag>" and is split off into `topo`.  `valid` is false for
+/// labels of other
 /// shapes (e.g. the FFT benches), which then only participate in the
 /// universal guideline G1.
 struct LabelKey {
@@ -333,6 +335,7 @@ struct LabelKey {
   std::string what;  ///< "fixed:<impl>" or "adcl:<policy>"
   std::string plan;  ///< fault-plan name; empty = fault-free
   std::string exec;  ///< execution-mode tag; empty = fiber (untagged)
+  std::string topo;  ///< topology tag; empty = untagged
   /// Group key ignoring the what part (G2/G3 compare within a group).
   /// Includes the plan: faulted runs only compare against equally
   /// faulted references.

@@ -1,0 +1,46 @@
+#pragma once
+
+// Hierarchy-aware two-level collective schedules.
+//
+// Both builders split the communicator along node boundaries: one leader
+// per node runs the inter-node phase (binomial over the leader list), and
+// every other rank talks only to its node's leader over shared memory.
+// On multi-node communicators this turns (n-1) wide-area transfers into
+// (L-1) of them — the classic hierarchical-collective win the multi-rail
+// platforms of the paper's testbeds (crill) are built for.
+//
+// Message totals match the flat counterparts exactly (bcast: n-1 payload
+// sends; allreduce reduce+bcast: 2(n-1)), so two-level and flat variants
+// of one operation are trace-equivalent in BytesOnWire — the analyzer
+// leans on that when pairing them (guideline G7).
+
+#include <cstddef>
+#include <vector>
+
+#include "mpi/types.hpp"
+#include "nbc/schedule.hpp"
+
+namespace nbctune::coll {
+
+/// Leader (communicator rank) of each rank's node: the lowest rank on the
+/// node, except the root's node where the root leads (no extra hop).
+/// `node_of[r]` is the node id of comm rank r; exposed for testing.
+std::vector<int> node_leaders(const std::vector<int>& node_of, int root);
+
+/// Two-level broadcast: binomial over node leaders rooted at `root`,
+/// then a binomial tree inside each node (a linear fan-out would
+/// serialize the leader's sends on wide nodes).  `node_of[r]` maps comm
+/// rank r to its node id (World::node_of of the world rank).
+nbc::Schedule build_ibcast_two_level(int me, int n, void* buf,
+                                     std::size_t bytes, int root,
+                                     const std::vector<int>& node_of);
+
+/// Two-level allreduce: binomial intra-node reduce to the leader,
+/// binomial reduce+broadcast among leaders, binomial intra-node result
+/// broadcast.
+nbc::Schedule build_iallreduce_two_level(int me, int n, const void* sbuf,
+                                         void* rbuf, std::size_t count,
+                                         nbc::DType dtype, mpi::ReduceOp op,
+                                         const std::vector<int>& node_of);
+
+}  // namespace nbctune::coll

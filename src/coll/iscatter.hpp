@@ -1,0 +1,46 @@
+#pragma once
+
+// Non-blocking scatter schedules.
+//
+// Scatter is the multi-rail showcase: the root injects n-1 independent
+// blocks, so its NIC(s) are the bottleneck.  The variants differ only in
+// how root-side sends map onto NIC rails:
+//
+//   linear   transport default (per-peer spread; Machine::nic_for)
+//   fan      every send pinned to ONE rail — models a naive implementation
+//            that binds the communicator to a single HCA and chokes on it
+//   rail     whole blocks round-robined across rails (destination d on
+//            rail d mod R)
+//   striped  every block split into per-rail stripes (Topology::
+//            plan_stripes), so even a single large block uses all rails
+//
+// Root's `sbuf` holds n blocks of `bytes`; every rank receives its block
+// in `rbuf` (the root by local copy).
+
+#include <cstddef>
+#include <vector>
+
+#include "nbc/schedule.hpp"
+#include "net/topology.hpp"
+
+namespace nbctune::coll {
+
+/// Flat scatter on the transport's default rail spreading.
+nbc::Schedule build_iscatter_linear(int me, int n, const void* sbuf,
+                                    void* rbuf, std::size_t bytes, int root);
+
+/// Flat scatter with every transfer pinned to `rail` (single-HCA fan).
+nbc::Schedule build_iscatter_fan(int me, int n, const void* sbuf, void* rbuf,
+                                 std::size_t bytes, int root, int rail);
+
+/// Whole destination blocks round-robined across `nrails` rails.
+nbc::Schedule build_iscatter_rail(int me, int n, const void* sbuf, void* rbuf,
+                                  std::size_t bytes, int root, int nrails);
+
+/// Each block split into the given stripes (offset/length/rail triples,
+/// normally Topology::plan_stripes(bytes)); stripes must tile `bytes`.
+nbc::Schedule build_iscatter_striped(int me, int n, const void* sbuf,
+                                     void* rbuf, std::size_t bytes, int root,
+                                     const std::vector<net::Stripe>& stripes);
+
+}  // namespace nbctune::coll

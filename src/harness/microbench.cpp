@@ -14,7 +14,13 @@
 namespace nbctune::harness {
 
 const char* op_name(OpKind k) noexcept {
-  return k == OpKind::Ialltoall ? "ialltoall" : "ibcast";
+  switch (k) {
+    case OpKind::Ialltoall: return "ialltoall";
+    case OpKind::Ibcast: return "ibcast";
+    case OpKind::Iallreduce: return "iallreduce";
+    case OpKind::Iscatter: return "iscatter";
+  }
+  return "?";
 }
 
 const char* exec_name(ExecMode m) noexcept {
@@ -23,10 +29,17 @@ const char* exec_name(ExecMode m) noexcept {
 
 std::shared_ptr<const adcl::FunctionSet> scenario_functionset(
     const MicroScenario& s) {
-  if (s.op == OpKind::Ialltoall) {
-    return adcl::make_ialltoall_functionset(s.include_blocking);
+  switch (s.op) {
+    case OpKind::Ialltoall:
+      return adcl::make_ialltoall_functionset(s.include_blocking);
+    case OpKind::Ibcast:
+      return adcl::make_ibcast_functionset(s.include_hierarchical);
+    case OpKind::Iallreduce:
+      return adcl::make_iallreduce_functionset(s.include_hierarchical);
+    case OpKind::Iscatter:
+      return adcl::make_iscatter_functionset(s.platform.nics_per_node);
   }
-  return adcl::make_ibcast_functionset();
+  throw std::invalid_argument("scenario_functionset: bad OpKind");
 }
 
 namespace {
@@ -46,7 +59,64 @@ std::string scenario_label(const MicroScenario& s, const std::string& what) {
   // Mode tag rides in the last token too; fiber (the default) stays
   // untagged so existing labels are unchanged.
   if (s.exec == ExecMode::Machine) label += "+exec=machine";
+  // Topology tag is the outermost suffix (stripped first by the analyzer's
+  // parse_label) so hierarchy experiments form their own label groups.
+  if (!s.topo_tag.empty()) label += "+topo=" + s.topo_tag;
   return label;
+}
+
+/// Per-operation request arguments; sizes (and pins into `args`) the
+/// payload buffers when the scenario moves real bytes.  Shared by the
+/// fiber and machine paths so both bind identical requests.
+adcl::OpArgs scenario_args(const MicroScenario& s, mpi::Ctx& ctx,
+                           std::vector<std::byte>& sbuf,
+                           std::vector<std::byte>& rbuf) {
+  auto comm = ctx.world().comm_world();
+  const int n = comm.size();
+  adcl::OpArgs args;
+  args.comm = comm;
+  switch (s.op) {
+    case OpKind::Ialltoall:
+      args.bytes = s.bytes;
+      if (s.payload) {
+        sbuf.resize(std::size_t(n) * s.bytes);
+        rbuf.resize(std::size_t(n) * s.bytes);
+        args.sbuf = sbuf.data();
+        args.rbuf = rbuf.data();
+      }
+      break;
+    case OpKind::Ibcast:
+      args.bytes = s.bytes;  // root stays 0
+      if (s.payload) {
+        rbuf.resize(s.bytes);
+        args.rbuf = rbuf.data();
+      }
+      break;
+    case OpKind::Iallreduce:
+      // s.bytes is the vector size; reduce in doubles (the sim's currency).
+      args.count = s.bytes / sizeof(double);
+      args.dtype = nbc::DType::F64;
+      args.op = mpi::ReduceOp::Sum;
+      if (s.payload) {
+        sbuf.resize(args.count * sizeof(double));
+        rbuf.resize(args.count * sizeof(double));
+        args.sbuf = sbuf.data();
+        args.rbuf = rbuf.data();
+      }
+      break;
+    case OpKind::Iscatter:
+      args.bytes = s.bytes;  // per-destination block; root stays 0
+      if (s.payload) {
+        rbuf.resize(s.bytes);
+        args.rbuf = rbuf.data();
+        if (ctx.world_rank() == comm.world_rank(0)) {
+          sbuf.resize(std::size_t(n) * s.bytes);
+          args.sbuf = sbuf.data();
+        }
+      }
+      break;
+  }
+  return args;
 }
 
 /// Executes the loop on every rank; returns the filled outcome (rank 0's
@@ -77,31 +147,14 @@ RunOutcome run_loop(const MicroScenario& s,
   if (plan.enabled()) wopts.fault_plan = &plan;
   mpi::World world(engine, machine, wopts);
 
-  world.launch([&](mpi::Ctx& ctx) {
-    auto comm = ctx.world().comm_world();
-    const int n = comm.size();
-    // Buffers: allocated only when payload moves; sized for the operation.
-    std::vector<std::byte> sbuf, rbuf;
-    const void* sp = nullptr;
-    void* rp = nullptr;
-    if (s.payload) {
-      if (s.op == OpKind::Ialltoall) {
-        sbuf.resize(std::size_t(n) * s.bytes);
-        rbuf.resize(std::size_t(n) * s.bytes);
-      } else {
-        rbuf.resize(s.bytes);
-      }
-      sp = sbuf.data();
-      rp = rbuf.data();
-    }
+  // One function-set shared by every rank (immutable once built).
+  auto fset = scenario_functionset(s);
 
-    std::unique_ptr<adcl::Request> req;
-    if (s.op == OpKind::Ialltoall) {
-      req = adcl::ialltoall_init(ctx, comm, sp, rp, s.bytes, tuning, nullptr,
-                                 s.include_blocking);
-    } else {
-      req = adcl::ibcast_init(ctx, comm, rp, s.bytes, /*root=*/0, tuning);
-    }
+  world.launch([&](mpi::Ctx& ctx) {
+    // Buffers: allocated only when payload moves; sized per operation.
+    std::vector<std::byte> sbuf, rbuf;
+    std::unique_ptr<adcl::Request> req = adcl::request_create(
+        ctx, fset, scenario_args(s, ctx, sbuf, rbuf), tuning);
     if (pinned >= 0) req->selection().force_winner(pinned);
 
     adcl::Timer timer(ctx, {req.get()});
@@ -182,22 +235,8 @@ RunOutcome run_loop_machine(const MicroScenario& s, int pinned,
   spec.progress_calls = s.progress_calls;
   spec.make_request = [&](mpi::Ctx& ctx, std::vector<std::byte>& sbuf,
                           std::vector<std::byte>& rbuf) {
-    auto comm = ctx.world().comm_world();
-    const int n = comm.size();
-    adcl::OpArgs args;
-    args.comm = comm;
-    args.bytes = s.bytes;  // bcast root stays 0, as in the fiber path
-    if (s.payload) {
-      if (s.op == OpKind::Ialltoall) {
-        sbuf.resize(std::size_t(n) * s.bytes);
-        rbuf.resize(std::size_t(n) * s.bytes);
-        args.sbuf = sbuf.data();
-      } else {
-        rbuf.resize(s.bytes);
-      }
-      args.rbuf = rbuf.data();
-    }
-    auto req = adcl::request_create(ctx, fset, std::move(args), tuning);
+    auto req = adcl::request_create(
+        ctx, fset, scenario_args(s, ctx, sbuf, rbuf), tuning);
     req->selection().force_winner(pinned);
     return req;
   };

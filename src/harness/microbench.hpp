@@ -27,7 +27,7 @@
 
 namespace nbctune::harness {
 
-enum class OpKind { Ialltoall, Ibcast };
+enum class OpKind { Ialltoall, Ibcast, Iallreduce, Iscatter };
 
 [[nodiscard]] const char* op_name(OpKind k) noexcept;
 
@@ -60,6 +60,13 @@ struct MicroScenario {
   bool payload = false;
   /// Include blocking implementations in the alltoall set (paper §IV-B).
   bool include_blocking = false;
+  /// Include the hierarchy-aware two-level members in the Ibcast /
+  /// Iallreduce function-sets (coll/hierarchical.hpp).
+  bool include_hierarchical = false;
+  /// Short topology tag folded into trace labels as "+topo=<tag>" (last
+  /// suffix), isolating hierarchy experiments into their own analyzer
+  /// label groups; empty = untagged (labels unchanged).
+  std::string topo_tag;
   /// Fault-plan spec (see fault/fault.hpp grammar); empty = fault-free.
   /// The plan's rto/retries/op_timeout knobs arm the resilient transport
   /// and NBC recovery; drift knobs arm ADCL re-tuning.

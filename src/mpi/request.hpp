@@ -47,6 +47,7 @@ struct Request {
   int peer = kAnySource;  ///< world rank of the peer (resolved for sends)
   int context = 0;
   int tag = 0;
+  int rail = -1;  ///< pinned NIC rail (-1 = transport default spreading)
   std::size_t bytes = 0;
   std::size_t cursor = 0;  ///< bytes pushed so far (CPU-driven bulk)
 

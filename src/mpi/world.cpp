@@ -84,6 +84,14 @@ int World::node_of(int wrank) const {
   return wrank / p.cores_per_node;
 }
 
+int World::core_of(int wrank) const {
+  const auto& p = machine_.platform();
+  if (options_.placement == WorldOptions::Placement::RoundRobin) {
+    return (wrank / p.nodes) % p.cores_per_node;
+  }
+  return wrank % p.cores_per_node;
+}
+
 void World::launch(std::function<void(Ctx&)> program) {
   for (int r = 0; r < options_.nprocs; ++r) {
     ctxs_.push_back(std::make_unique<Ctx>(*this, r));
@@ -180,6 +188,28 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
                                                      : "msg.ack",
                    "dst", static_cast<std::uint64_t>(env.dst), "bytes",
                    env.bytes, env.seq);
+    // Hierarchy accounting: message-size distribution per endpoint-pair
+    // level, and (inter-node only) whether the NIC rail was pinned by the
+    // schedule or chosen by the default per-peer spread.
+    switch (machine_.topology().level_between(src_node, core_of(env.src),
+                                              dst_node, core_of(env.dst))) {
+      case net::Level::Socket:
+        trace::record(trace::Hist::SocketBytes, wire_bytes);
+        break;
+      case net::Level::Node:
+        trace::record(trace::Hist::NodeBytes, wire_bytes);
+        break;
+      case net::Level::Rack:
+        trace::record(trace::Hist::RackBytes, wire_bytes);
+        break;
+      case net::Level::System:
+        trace::record(trace::Hist::SystemBytes, wire_bytes);
+        break;
+    }
+    if (src_node != dst_node) {
+      trace::count(env.rail >= 0 ? trace::Ctr::RailPinnedMsgs
+                                 : trace::Ctr::RailAutoMsgs);
+    }
   }
 
   // Fault injection applies to inter-node messaging only: intra-node
@@ -233,8 +263,13 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
     local_done = slot.end;
     arrival = slot.end + p.intra.latency;
   } else {
-    const int nic = machine_.nic_for(src_node, dst_node);
-    const int rnic = machine_.nic_for(dst_node, src_node);
+    // A rail-pinned transfer uses the same HCA index on both endpoints;
+    // otherwise the machine spreads by peer node.
+    const int nics = p.nics_per_node;
+    const int nic =
+        env.rail >= 0 ? env.rail % nics : machine_.nic_for(src_node, dst_node);
+    const int rnic =
+        env.rail >= 0 ? env.rail % nics : machine_.nic_for(dst_node, src_node);
     const double tx_time =
         static_cast<double>(wire_bytes) * p.inter.byte_time * bt_mult +
         p.inter.msg_gap;
@@ -352,8 +387,12 @@ void World::start_nic_bulk(int src, int dst, Req sreq, std::uint64_t dst_match,
     send_done = slot.end;
     recv_done = slot.end + p.intra.latency;
   } else {
-    const int nic = machine_.nic_for(src_node, dst_node);
-    const int rnic = machine_.nic_for(dst_node, src_node);
+    const int rail = srs.pool.live(sreq) ? srs.pool.get(sreq).rail : -1;
+    const int nics = p.nics_per_node;
+    const int nic =
+        rail >= 0 ? rail % nics : machine_.nic_for(src_node, dst_node);
+    const int rnic =
+        rail >= 0 ? rail % nics : machine_.nic_for(dst_node, src_node);
     double lat_mult = 1.0;
     double bt_mult = 1.0;
     if (injector_ != nullptr) {
@@ -471,7 +510,8 @@ Envelope World::rebuild_envelope(int wrank, Req h, const Request& r) {
   env.src = wrank;
   env.dst = r.peer;
   env.context = r.context;
-  env.tag = r.tag;
+  env.tag = r.tag;  // already rail-sub-tagged at post time
+  env.rail = r.rail;
   env.bytes = r.bytes;
   switch (r.rexmit) {
     case RexmitKind::Eager:
@@ -607,11 +647,16 @@ double Ctx::bulk_chunk_cost(std::size_t chunk) const {
 // ---- posting ----
 
 Req Ctx::post_isend(const Comm& comm, const void* buf, std::size_t bytes,
-                    int dst, int tag, double& cpu_cost,
-                    double earliest_offset) {
+                    int dst, int tag, double& cpu_cost, double earliest_offset,
+                    int rail) {
   if (dst < 0 || dst >= comm.size()) {
     throw std::invalid_argument("post_isend: bad destination rank");
   }
+  // A pinned rail is folded into the wire tag (sub-tags reserved by
+  // alloc_nbc_tag's stride): stripes of one logical message travel on
+  // different rails, whose serialization can reorder arrivals, yet each
+  // still matches exactly its own posted receive.
+  if (rail >= 0) tag += 1 + rail % (kTagStride - 1);
   const int dst_w = comm.world_rank(dst);
   const auto& p = world_.platform();
   RankState& rs = st();
@@ -622,6 +667,7 @@ Req Ctx::post_isend(const Comm& comm, const void* buf, std::size_t bytes,
   r.peer = dst_w;
   r.context = comm.context();
   r.tag = tag;
+  r.rail = rail;
   r.bytes = bytes;
   r.send_buf = buf;
   ++rs.outstanding;
@@ -634,6 +680,7 @@ Req Ctx::post_isend(const Comm& comm, const void* buf, std::size_t bytes,
   env.dst = dst_w;
   env.context = comm.context();
   env.tag = tag;
+  env.rail = rail;
   env.bytes = bytes;
 
   if (eager) {
@@ -701,8 +748,11 @@ Req Ctx::post_isend(const Comm& comm, const void* buf, std::size_t bytes,
 }
 
 Req Ctx::post_irecv(const Comm& comm, void* buf, std::size_t bytes, int src,
-                    int tag, double& cpu_cost) {
+                    int tag, double& cpu_cost, int rail) {
   RankState& rs = st();
+  // Mirror post_isend's rail sub-tagging: the matching send carries the
+  // same pinned rail (builder contract, nbc::Action::rail).
+  if (rail >= 0 && tag != kAnyTag) tag += 1 + rail % (kTagStride - 1);
   const int src_w =
       src == kAnySource ? kAnySource
                         : (src >= 0 && src < comm.size()
@@ -715,6 +765,7 @@ Req Ctx::post_irecv(const Comm& comm, void* buf, std::size_t bytes, int src,
   r.peer = src_w;
   r.context = comm.context();
   r.tag = tag;
+  r.rail = rail;
   r.bytes = bytes;
   r.recv_buf = buf;
   r.post_seq = rs.next_post_seq++;
@@ -957,8 +1008,12 @@ void Ctx::push_chunks(double& cpu_cost) {
       drain_end = slot.end;
       arrival = slot.end + p.intra.latency;
     } else {
-      const int nic = world_.machine().nic_for(rs.node, dst_node);
-      const int rnic = world_.machine().nic_for(dst_node, rs.node);
+      const int nics = p.nics_per_node;
+      const int nic = r.rail >= 0 ? r.rail % nics
+                                  : world_.machine().nic_for(rs.node, dst_node);
+      const int rnic = r.rail >= 0
+                           ? r.rail % nics
+                           : world_.machine().nic_for(dst_node, rs.node);
       double lat_mult = 1.0;
       double bt_mult = 1.0;
       if (fault::Injector* inj = world_.injector()) {

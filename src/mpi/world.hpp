@@ -88,6 +88,7 @@ struct Envelope {
   int dst = 0;  ///< world rank
   int context = 0;
   int tag = 0;
+  int rail = -1;  ///< pinned NIC rail (-1 = per-peer default spreading)
   std::size_t bytes = 0;         ///< payload size of the user message
   std::uint64_t match_id = 0;    ///< sender request (Rts/Cts reply routing)
   std::uint64_t peer_match_id = 0;  ///< receiver request (Cts)
@@ -183,6 +184,9 @@ class World {
 
   [[nodiscard]] int size() const noexcept { return options_.nprocs; }
   [[nodiscard]] int node_of(int wrank) const;
+  /// Core slot of `wrank` within its node (consistent with node_of for
+  /// either placement); feeds Topology::level_between for socket locality.
+  [[nodiscard]] int core_of(int wrank) const;
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
   [[nodiscard]] net::Machine& machine() noexcept { return machine_; }
   [[nodiscard]] const WorldOptions& options() const noexcept { return options_; }
@@ -304,10 +308,14 @@ class Ctx {
   // ---- internal posting interface (used by the NBC engine from inside
   //      progress passes; does not itself run a progress pass).  Returns
   //      the CPU cost the caller must account for. ----
+  // `rail` pins the transfer to one NIC rail (multi-NIC striping); the
+  // pinned rail is folded into the wire tag, so a send and its matching
+  // receive must agree on it (see alloc_nbc_tag / nbc::Action::rail).
   Req post_isend(const Comm& comm, const void* buf, std::size_t bytes, int dst,
-                 int tag, double& cpu_cost, double earliest_offset);
+                 int tag, double& cpu_cost, double earliest_offset,
+                 int rail = -1);
   Req post_irecv(const Comm& comm, void* buf, std::size_t bytes, int src,
-                 int tag, double& cpu_cost);
+                 int tag, double& cpu_cost, int rail = -1);
   /// Non-charging completion check (no progress pass).
   bool peek_complete(Req h);
   /// Stable pointer to a live request (hot-path completion polling).
@@ -319,11 +327,19 @@ class Ctx {
   void register_client(ProgressClient* c);
   void unregister_client(ProgressClient* c);
 
+  /// Tag stride between consecutive NBC operations.  Rail-pinned
+  /// transfers occupy the sub-tags tag+1 .. tag+kTagStride-1 (effective
+  /// tag = tag + 1 + rail), so stripes of one logical message to the same
+  /// peer match pairwise even when different rails reorder arrivals.
+  /// Rails must therefore stay below kTagStride - 1.
+  static constexpr int kTagStride = 16;
+
   /// Allocate a tag for one non-blocking collective operation.  Every
   /// rank creates collectives in the same order (collective contract), so
   /// per-rank counters agree across the communicator.
   int alloc_nbc_tag() {
-    const int tag = (1 << 20) + (nbc_tag_counter_++ % (1 << 22));
+    const int tag =
+        (1 << 20) + (nbc_tag_counter_++ % (1 << 18)) * kTagStride;
     return tag;
   }
 

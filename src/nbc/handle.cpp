@@ -68,13 +68,13 @@ double Handle::post_round(std::size_t r) {
   for (const Action& a : schedule_->round(r)) {
     switch (a.kind) {
       case Action::Kind::Send:
-        pending_.push_back(
-            ctx_.post_isend(comm_, a.src, a.bytes, a.peer, tag_, cost, cost));
+        pending_.push_back(ctx_.post_isend(comm_, a.src, a.bytes, a.peer,
+                                           tag_, cost, cost, a.rail));
         pending_ptrs_.push_back(ctx_.request_ptr(pending_.back()));
         break;
       case Action::Kind::Recv:
-        pending_.push_back(
-            ctx_.post_irecv(comm_, a.dst, a.bytes, a.peer, tag_, cost));
+        pending_.push_back(ctx_.post_irecv(comm_, a.dst, a.bytes, a.peer,
+                                           tag_, cost, a.rail));
         pending_ptrs_.push_back(ctx_.request_ptr(pending_.back()));
         break;
       case Action::Kind::Copy:

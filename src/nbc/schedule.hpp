@@ -42,6 +42,12 @@ struct Action {
   int peer = -1;
   DType dtype = DType::F64;
   mpi::ReduceOp op = mpi::ReduceOp::Sum;
+  /// NIC rail this transfer is pinned to (-1 = transport's default
+  /// per-peer spreading).  A pinned rail also sub-tags the message, so a
+  /// Send's matching Recv must carry the same rail — that is what lets a
+  /// striped transfer's same-peer same-tag segments match pairwise even
+  /// when different rails reorder their arrivals (topology.hpp).
+  int rail = -1;
 };
 
 /// A complete schedule: rounds of actions plus owned scratch memory.
@@ -57,6 +63,16 @@ class Schedule {
   void recv(void* buf, std::size_t bytes, int peer) {
     rounds_.back().push_back(
         Action{Action::Kind::Recv, nullptr, buf, bytes, peer, {}, {}});
+  }
+  /// Rail-pinned transfers (multi-NIC striping; see Action::rail).  The
+  /// sender and its matching receiver must agree on `rail`.
+  void send_rail(const void* buf, std::size_t bytes, int peer, int rail) {
+    rounds_.back().push_back(
+        Action{Action::Kind::Send, buf, nullptr, bytes, peer, {}, {}, rail});
+  }
+  void recv_rail(void* buf, std::size_t bytes, int peer, int rail) {
+    rounds_.back().push_back(
+        Action{Action::Kind::Recv, nullptr, buf, bytes, peer, {}, {}, rail});
   }
   void copy(const void* src, void* dst, std::size_t bytes) {
     rounds_.back().push_back(

@@ -87,21 +87,32 @@ int ring_distance(int a, int b, int dim) noexcept {
 
 int Machine::torus_hops(int node_a, int node_b) const noexcept {
   if (platform_.torus_x <= 0 || node_a == node_b) return 0;
-  const int yx = platform_.torus_x;
-  const int zplane = platform_.torus_x * platform_.torus_y;
-  const int ax = node_a % yx, ay = (node_a / yx) % platform_.torus_y,
-            az = node_a / zplane;
-  const int bx = node_b % yx, by = (node_b / yx) % platform_.torus_y,
-            bz = node_b / zplane;
-  return ring_distance(ax, bx, platform_.torus_x) +
-         ring_distance(ay, by, platform_.torus_y) +
-         ring_distance(az, bz, platform_.torus_z);
+  // Degenerate axes (declared 0 or negative alongside torus_x > 0) are
+  // 1-wide rings: every coordinate is 0 and the axis contributes no hops.
+  const int tx = platform_.torus_x;
+  const int ty = platform_.torus_y > 0 ? platform_.torus_y : 1;
+  const int tz = platform_.torus_z > 0 ? platform_.torus_z : 1;
+  const int zplane = tx * ty;
+  // Every coordinate is reduced modulo its own axis extent, so node ids
+  // beyond tx*ty*tz wrap around the torus instead of producing
+  // out-of-range coordinates (which made ring_distance go negative).
+  const int ax = node_a % tx, ay = (node_a / tx) % ty,
+            az = (node_a / zplane) % tz;
+  const int bx = node_b % tx, by = (node_b / tx) % ty,
+            bz = (node_b / zplane) % tz;
+  return ring_distance(ax, bx, tx) + ring_distance(ay, by, ty) +
+         ring_distance(az, bz, tz);
 }
 
 double Machine::latency(int node_a, int node_b) const noexcept {
   if (node_a == node_b) return platform_.intra.latency;
-  return platform_.inter.latency +
-         platform_.hop_latency * torus_hops(node_a, node_b);
+  double l = platform_.inter.latency +
+             platform_.hop_latency * torus_hops(node_a, node_b);
+  if (platform_.rack_extra_latency > 0 &&
+      topology_.rack_of(node_a) != topology_.rack_of(node_b)) {
+    l += platform_.rack_extra_latency;
+  }
+  return l;
 }
 
 void Machine::reset() {

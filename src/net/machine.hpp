@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/platform.hpp"
+#include "net/topology.hpp"
 #include "sim/resource.hpp"
 
 namespace nbctune::net {
@@ -18,6 +19,8 @@ class Machine {
 
   [[nodiscard]] const Platform& platform() const noexcept { return platform_; }
   [[nodiscard]] int nodes() const noexcept { return platform_.nodes; }
+  /// The socket/node/rack hierarchy and rail/striping planner.
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
 
   /// Transmit-side engine of NIC `nic` on `node` (FIFO serialization of
   /// outgoing transfers).
@@ -47,8 +50,9 @@ class Machine {
   [[nodiscard]] int nic_for(int node, int peer_node) const noexcept;
 
   /// One-way header latency between two nodes, including per-hop torus
-  /// latency on torus platforms.  `node_a == node_b` gives the intra-node
-  /// (shared-memory) latency.
+  /// latency on torus platforms and the cross-rack premium on racked
+  /// platforms.  `node_a == node_b` gives the intra-node (shared-memory)
+  /// latency.
   [[nodiscard]] double latency(int node_a, int node_b) const noexcept;
 
   /// Hop count between nodes on the torus (0 when not a torus or same node).
@@ -81,6 +85,7 @@ class Machine {
 
  private:
   Platform platform_;
+  Topology topology_{platform_};
   std::vector<int> inflight_;
   // [node][nic]
   std::vector<std::vector<sim::Resource>> tx_;

@@ -46,6 +46,16 @@ Platform crill() {
   p.mem_congest_free = 64;
   p.noise = default_noise();
   p.flops_per_sec = 1.5e9;
+  // 4x 12-core Magny Cours per node; the 16 nodes span two 8-node racks.
+  // Within a socket the HT links stay out of the picture entirely.
+  p.sockets_per_node = 4;
+  p.nodes_per_rack = 8;
+  p.rack_extra_latency = 0.5 * kUs;
+  p.socket = LinkParams{.latency = 0.3 * kUs,
+                        .byte_time = 1.0 / 6.0e9,
+                        .send_overhead = 0.2 * kUs,
+                        .recv_overhead = 0.2 * kUs,
+                        .msg_gap = 0.05 * kUs};
   return p;
 }
 
@@ -80,6 +90,15 @@ Platform whale() {
   p.mem_congest_free = 32;
   p.noise = default_noise();
   p.flops_per_sec = 1.2e9;
+  // 2x quad-core Barcelona per node; 64 nodes in two 32-node racks.
+  p.sockets_per_node = 2;
+  p.nodes_per_rack = 32;
+  p.rack_extra_latency = 0.8 * kUs;
+  p.socket = LinkParams{.latency = 0.4 * kUs,
+                        .byte_time = 1.0 / 4.0e9,
+                        .send_overhead = 0.25 * kUs,
+                        .recv_overhead = 0.25 * kUs,
+                        .msg_gap = 0.05 * kUs};
   return p;
 }
 
@@ -141,6 +160,12 @@ Platform bluegene_p() {
   p.torus_z = 4;
   p.hop_latency = 0.1 * kUs;
   p.flops_per_sec = 0.4e9;
+  // A midplane is 8x8x8 half-rack on real BG/P; this 256-node partition
+  // groups into 32-node units purely descriptively (the torus hop model
+  // already prices distance, so no extra rack latency on top).
+  p.sockets_per_node = 1;
+  p.nodes_per_rack = 32;
+  p.rack_extra_latency = 0.0;
   return p;
 }
 
@@ -179,6 +204,11 @@ Platform mega() {
   p.mem_congest_free = 128;
   p.noise = default_noise();
   p.flops_per_sec = 3.0e9;
+  // Descriptive hierarchy only: the scale sweeps pin their trajectories,
+  // so crossing racks costs nothing extra on this synthetic system.
+  p.sockets_per_node = 4;
+  p.nodes_per_rack = 128;
+  p.rack_extra_latency = 0.0;
   return p;
 }
 

@@ -84,8 +84,21 @@ struct Platform {
 
   /// Torus topology (BlueGene/P): when torus_x > 0, inter-node latency is
   /// latency + hops * hop_latency with hops measured on the 3-D torus.
+  /// Axes beyond torus_x default to width 1 when left at 0.
   int torus_x = 0, torus_y = 0, torus_z = 0;
   double hop_latency = 0.0;
+
+  /// Hierarchy (net/topology.hpp): how the cores of a node split into
+  /// sockets and how the nodes group into racks.  sockets_per_node must
+  /// divide cores_per_node; nodes_per_rack == 0 means a single rack.
+  int sockets_per_node = 1;
+  int nodes_per_rack = 0;
+  /// Extra one-way latency a message crossing rack boundaries pays
+  /// (added by Machine::latency when the endpoints' racks differ).
+  double rack_extra_latency = 0.0;
+  /// Intra-socket path; all-zero means "derive from intra" (the topology
+  /// layer then reports the node-level link for the socket level too).
+  LinkParams socket;
 
   /// Compute speed used by application cost models (useful FLOP/s).
   double flops_per_sec = 1e9;

@@ -111,6 +111,10 @@ const char* ctr_name(Ctr c) noexcept {
       return "sim.fibers_created";
     case Ctr::WorldPeakArenaBytes:
       return "world.peak_arena_bytes";
+    case Ctr::RailPinnedMsgs:
+      return "net.rail_pinned_msgs";
+    case Ctr::RailAutoMsgs:
+      return "net.rail_auto_msgs";
     case Ctr::kCount:
       break;
   }
@@ -127,6 +131,14 @@ const char* hist_name(Hist h) noexcept {
       return "coll.rounds_per_schedule";
     case Hist::ProgressPerOp:
       return "adcl.progress_calls_per_iteration";
+    case Hist::SocketBytes:
+      return "net.socket_bytes";
+    case Hist::NodeBytes:
+      return "net.node_bytes";
+    case Hist::RackBytes:
+      return "net.rack_bytes";
+    case Hist::SystemBytes:
+      return "net.system_bytes";
     case Hist::kCount:
       break;
   }

@@ -93,6 +93,8 @@ enum class Ctr : std::uint8_t {
   NbcFallbacks,           ///< ops restarted on the fallback algorithm
   SimFibersCreated,       ///< fibers constructed (0 in machine-mode runs)
   WorldPeakArenaBytes,    ///< flat per-rank World arenas at destruction
+  RailPinnedMsgs,         ///< inter-node messages on a pinned NIC rail
+  RailAutoMsgs,           ///< inter-node messages on the default rail spread
   kCount,
 };
 [[nodiscard]] const char* ctr_name(Ctr c) noexcept;
@@ -103,6 +105,12 @@ enum class Hist : std::uint8_t {
   RoundsPerOp,       ///< schedule rounds per completed collective
   ScheduleRounds,    ///< rounds per built schedule
   ProgressPerOp,     ///< explicit progress calls per request iteration
+  // Per-hierarchy-level message-size distributions (net::Level of the
+  // endpoint pair; see net/topology.hpp).
+  SocketBytes,       ///< bytes per same-socket message
+  NodeBytes,         ///< bytes per same-node cross-socket message
+  RackBytes,         ///< bytes per same-rack inter-node message
+  SystemBytes,       ///< bytes per cross-rack message
   kCount,
 };
 [[nodiscard]] const char* hist_name(Hist h) noexcept;

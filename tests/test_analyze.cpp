@@ -124,6 +124,38 @@ TEST(AnalyzeLabel, SplitsPlanAndExecSuffixes) {
   EXPECT_NE(f.group(), m.group());
 }
 
+TEST(AnalyzeLabel, SplitsTopoSuffix) {
+  // The topology tag is the outermost suffix ("+topo=<tag>" appended
+  // last) and must be stripped before the plan/exec tags.
+  const analyze::LabelKey k = analyze::parse_label(
+      "iscatter crill np96 65536B fixed:striped+plan=lossy+topo=rails2");
+  ASSERT_TRUE(k.valid);
+  EXPECT_EQ(k.what, "fixed:striped");
+  EXPECT_EQ(k.plan, "lossy");
+  EXPECT_EQ(k.topo, "rails2");
+  EXPECT_EQ(k.group(), "iscatter crill np96 65536B plan=lossy topo=rails2");
+  EXPECT_EQ(k.size_group(),
+            "iscatter crill np96 fixed:striped plan=lossy topo=rails2");
+  EXPECT_EQ(k.rank_group(),
+            "iscatter crill 65536B fixed:striped plan=lossy topo=rails2");
+
+  // A tagged and an untagged run of the same scenario land in different
+  // guideline groups: topology variants never compare against each other.
+  const analyze::LabelKey u = analyze::parse_label(
+      "iscatter crill np96 65536B fixed:striped+plan=lossy");
+  ASSERT_TRUE(u.valid);
+  EXPECT_TRUE(u.topo.empty());
+  EXPECT_NE(u.group(), k.group());
+
+  // Stacked with the exec tag: exec still parses, topo strips first.
+  const analyze::LabelKey m = analyze::parse_label(
+      "ibcast whale np32 4096B fixed:2lvl-binomial+exec=machine+topo=hier");
+  ASSERT_TRUE(m.valid);
+  EXPECT_EQ(m.what, "fixed:2lvl-binomial");
+  EXPECT_EQ(m.exec, "machine");
+  EXPECT_EQ(m.topo, "hier");
+}
+
 TEST(AnalyzeLabel, RejectsOtherShapes) {
   EXPECT_FALSE(analyze::parse_label("").valid);
   EXPECT_FALSE(analyze::parse_label("golden ibcast").valid);
@@ -192,7 +224,7 @@ TEST(AnalyzeGolden, TwoRankIbcastCriticalPath) {
 
   // G1 evaluated and passing; the label is not microbench-shaped, so the
   // comparative guidelines stay n/a.
-  ASSERT_EQ(r.guidelines.size(), 6u);
+  ASSERT_EQ(r.guidelines.size(), 7u);
   EXPECT_EQ(r.guidelines[0].id, "G1");
   EXPECT_EQ(r.guidelines[0].checked, 1);
   EXPECT_EQ(r.guidelines[0].passed, 1);
@@ -541,6 +573,55 @@ TEST(AnalyzeGuidelines, MonotoneInProcessCount) {
   EXPECT_EQ(find_g(na, "G6").checked, 0);
 }
 
+TEST(AnalyzeGuidelines, TwoLevelBeatsOrMatchesFlatOnMultiNode) {
+  // G7: on a multi-node run (whale has 8 cores/node, so np32 spans 4
+  // nodes) the two-level variant must stay within epsilon of the fastest
+  // flat member of its family.
+  const std::string grp = "ibcast whale np32 65536B ";
+  const analyze::Report ok = analyze::analyze({
+      synth(grp + "fixed:binomial/seg32k", 2, 110e-6),
+      synth(grp + "fixed:binomial/seg64k", 2, 100e-6),
+      synth(grp + "fixed:2lvl-binomial", 2, 90e-6),
+  });
+  EXPECT_EQ(find_g(ok, "G7").checked, 1);
+  EXPECT_EQ(find_g(ok, "G7").passed, 1);
+
+  // 2x the flat time exceeds epsilon: hierarchy awareness did not pay.
+  const analyze::Report bad = analyze::analyze({
+      synth(grp + "fixed:binomial/seg32k", 2, 100e-6),
+      synth(grp + "fixed:2lvl-binomial", 2, 200e-6),
+  });
+  EXPECT_EQ(find_g(bad, "G7").checked, 1);
+  EXPECT_EQ(find_g(bad, "G7").passed, 0);
+  ASSERT_EQ(find_g(bad, "G7").violations.size(), 1u);
+  EXPECT_STREQ(find_g(bad, "G7").status(), "FAIL");
+
+  // Exact-name twin (unsegmented families like iallreduce).
+  const std::string agrp = "iallreduce whale np32 65536B ";
+  const analyze::Report exact = analyze::analyze({
+      synth(agrp + "fixed:reduce-bcast", 2, 100e-6),
+      synth(agrp + "fixed:2lvl-reduce-bcast", 2, 100e-6),
+  });
+  EXPECT_EQ(find_g(exact, "G7").checked, 1);
+  EXPECT_EQ(find_g(exact, "G7").passed, 1);
+
+  // Single-node runs are skipped: np4 fits inside one whale node, where
+  // the two-level shape degenerates to the flat one.
+  const analyze::Report single = analyze::analyze({
+      synth("ibcast whale np4 65536B fixed:binomial/seg32k", 2, 100e-6),
+      synth("ibcast whale np4 65536B fixed:2lvl-binomial", 2, 400e-6),
+  });
+  EXPECT_EQ(find_g(single, "G7").checked, 0);
+  EXPECT_STREQ(find_g(single, "G7").status(), "n/a");
+
+  // Unknown platforms carry no node geometry: nothing to check.
+  const analyze::Report unknown = analyze::analyze({
+      synth("ibcast lab9 np32 65536B fixed:binomial/seg32k", 2, 100e-6),
+      synth("ibcast lab9 np32 65536B fixed:2lvl-binomial", 2, 400e-6),
+  });
+  EXPECT_EQ(find_g(unknown, "G7").checked, 0);
+}
+
 TEST(AnalyzeAdcl, PruneEventsLandInAudit) {
   const analyze::ScenarioTrace tr = traced("ialltoall whale np2 64B adcl:g",
                                            [] {
@@ -653,7 +734,7 @@ TEST(AnalyzeRegress, SelfDiffIsClean) {
       analyze::regress(d, d, analyze::RegressTolerances{});
   EXPECT_TRUE(res.ok());
   EXPECT_EQ(res.scenarios_compared, 2u);
-  EXPECT_EQ(res.guidelines_compared, 6u);
+  EXPECT_EQ(res.guidelines_compared, 7u);
 }
 
 TEST(AnalyzeRegress, InjectedDriftFails) {

@@ -1,0 +1,286 @@
+// Topology subsystem semantics: deterministic rail round-robin, stripe
+// planning invariants, leader election (including stability across
+// ScenarioPool thread counts), two-level vs flat payload-total
+// equivalence, data integrity of the two-level collectives, and the
+// multi-rail speedup the striped/rail mappings exist for.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "coll/hierarchical.hpp"
+#include "coll/iallreduce.hpp"
+#include "coll/ibcast.hpp"
+#include "harness/microbench.hpp"
+#include "harness/scenario_pool.hpp"
+#include "mpi/world.hpp"
+#include "nbc/handle.hpp"
+#include "net/platform.hpp"
+#include "net/topology.hpp"
+#include "testing_util.hpp"
+
+using namespace nbctune;
+namespace t = nbctune::testing;
+
+// ------------------------------------------------------------ rails
+
+TEST(TopologyRails, RoundRobinIsAPureFunctionOfTheSequence) {
+  const net::Topology crill(net::crill());
+  ASSERT_EQ(crill.rails(), 2);
+  for (int seq = 0; seq < 16; ++seq) {
+    EXPECT_EQ(crill.rail_for(seq), seq % 2);
+    // Same seq -> same rail, every time (thread-count independence rests
+    // on the caller owning the sequence counter, not on call order).
+    EXPECT_EQ(crill.rail_for(seq), crill.rail_for(seq));
+  }
+  // Negative sequences still land on a valid rail.
+  EXPECT_EQ(crill.rail_for(-1), 1);
+  EXPECT_EQ(crill.rail_for(-2), 0);
+}
+
+TEST(TopologyRails, SingleNicPlatformsAlwaysUseRailZero) {
+  const net::Topology whale(net::whale());
+  ASSERT_EQ(whale.rails(), 1);
+  for (int seq = -3; seq < 9; ++seq) EXPECT_EQ(whale.rail_for(seq), 0);
+}
+
+// ---------------------------------------------------------- striping
+
+namespace {
+
+void check_stripe_plan(const net::Topology& topo, std::size_t bytes,
+                       std::size_t min_stripe) {
+  const auto stripes = topo.plan_stripes(bytes, min_stripe);
+  if (bytes == 0) return;  // empty message: plan contents are moot
+  ASSERT_FALSE(stripes.empty());
+  ASSERT_LE(stripes.size(), static_cast<std::size_t>(topo.rails()));
+  std::size_t total = 0;
+  std::size_t expect_offset = 0;
+  std::vector<bool> rail_used(static_cast<std::size_t>(topo.rails()), false);
+  for (const net::Stripe& st : stripes) {
+    EXPECT_EQ(st.offset, expect_offset);  // contiguous, ascending
+    EXPECT_GT(st.bytes, 0u);
+    ASSERT_GE(st.rail, 0);
+    ASSERT_LT(st.rail, topo.rails());
+    EXPECT_FALSE(rail_used[static_cast<std::size_t>(st.rail)])
+        << "rail " << st.rail << " used twice";
+    rail_used[static_cast<std::size_t>(st.rail)] = true;
+    expect_offset += st.bytes;
+    total += st.bytes;
+  }
+  EXPECT_EQ(total, bytes) << "stripes must tile the message exactly";
+}
+
+}  // namespace
+
+TEST(TopologyStripes, PlansTileTheMessageExactly) {
+  const net::Topology crill(net::crill());
+  for (std::size_t bytes : {std::size_t{1}, std::size_t{4095},
+                            std::size_t{4096}, std::size_t{8191},
+                            std::size_t{8192}, std::size_t{8193},
+                            std::size_t{65536}, std::size_t{1048576},
+                            std::size_t{1048577}}) {
+    check_stripe_plan(crill, bytes, 4096);
+  }
+}
+
+TEST(TopologyStripes, SmallMessagesStayUnsplit) {
+  const net::Topology crill(net::crill());
+  // Below 2 * min_stripe_bytes a split would leave a stripe under the
+  // floor, so the whole message rides one rail.
+  for (std::size_t bytes : {std::size_t{1}, std::size_t{4096},
+                            std::size_t{8191}}) {
+    EXPECT_EQ(crill.plan_stripes(bytes, 4096).size(), 1u) << bytes;
+  }
+  EXPECT_EQ(crill.plan_stripes(8192, 4096).size(), 2u);
+}
+
+TEST(TopologyStripes, SingleRailPlatformNeverSplits) {
+  const net::Topology whale(net::whale());
+  for (std::size_t bytes : {std::size_t{4096}, std::size_t{1048576}}) {
+    const auto stripes = whale.plan_stripes(bytes);
+    ASSERT_EQ(stripes.size(), 1u);
+    EXPECT_EQ(stripes[0].rail, 0);
+    EXPECT_EQ(stripes[0].bytes, bytes);
+  }
+}
+
+// ---------------------------------------------------- leader election
+
+TEST(NodeLeaders, LowestRankLeadsExceptOnTheRootsNode) {
+  // 12 ranks on 3 nodes of 4.
+  std::vector<int> node_of(12);
+  for (int r = 0; r < 12; ++r) node_of[static_cast<std::size_t>(r)] = r / 4;
+  const auto leader_of = coll::node_leaders(node_of, /*root=*/6);
+  for (int r = 0; r < 12; ++r) {
+    const int expect = r / 4 == 1 ? 6 : (r / 4) * 4;  // root's node: root
+    EXPECT_EQ(leader_of[static_cast<std::size_t>(r)], expect) << "rank " << r;
+  }
+  // Every leader leads itself.
+  for (int r = 0; r < 12; ++r) {
+    const int l = leader_of[static_cast<std::size_t>(r)];
+    EXPECT_EQ(leader_of[static_cast<std::size_t>(l)], l);
+  }
+}
+
+TEST(NodeLeaders, StableAcrossPoolThreadCounts) {
+  // Leader election is a pure function, so electing concurrently on a
+  // worker pool must agree with the serial answer for every root — this
+  // is what lets two-level schedules be built on any thread of a sweep.
+  std::vector<int> node_of(96);
+  for (int r = 0; r < 96; ++r) node_of[static_cast<std::size_t>(r)] = r / 48;
+  std::vector<std::vector<int>> serial(96);
+  for (int root = 0; root < 96; ++root) {
+    serial[static_cast<std::size_t>(root)] = coll::node_leaders(node_of, root);
+  }
+  for (int threads : {1, 3}) {
+    harness::ScenarioPool pool(threads);
+    std::vector<std::vector<int>> pooled(96);
+    pool.run_indexed(96, [&](std::size_t root) {
+      pooled[root] = coll::node_leaders(node_of, static_cast<int>(root));
+    });
+    EXPECT_EQ(pooled, serial) << "threads=" << threads;
+  }
+}
+
+// ------------------------------------- two-level vs flat payload totals
+
+TEST(TwoLevelShape, BcastPayloadTotalMatchesFlat) {
+  const int n = 12;
+  const std::size_t bytes = 4096;
+  std::vector<int> node_of(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) node_of[static_cast<std::size_t>(r)] = r / 4;
+  std::vector<std::byte> buf(bytes);
+  for (int root : {0, 5, 11}) {
+    std::size_t two_sends = 0, two_bytes = 0, flat_bytes = 0;
+    for (int me = 0; me < n; ++me) {
+      auto two = coll::build_ibcast_two_level(me, n, buf.data(), bytes, root,
+                                              node_of);
+      two_sends += two.total_sends();
+      two_bytes += two.total_send_bytes();
+      auto flat = coll::build_ibcast(me, n, buf.data(), bytes, root,
+                                     coll::kFanoutBinomial, /*seg_bytes=*/0);
+      flat_bytes += flat.total_send_bytes();
+    }
+    // Exactly n-1 payload sends of the full message, like any flat tree:
+    // the hierarchy moves crossings, it does not add traffic (G7's basis).
+    EXPECT_EQ(two_sends, static_cast<std::size_t>(n - 1)) << "root " << root;
+    EXPECT_EQ(two_bytes, static_cast<std::size_t>(n - 1) * bytes);
+    EXPECT_EQ(two_bytes, flat_bytes);
+  }
+}
+
+TEST(TwoLevelShape, AllreducePayloadTotalMatchesFlatReduceBcast) {
+  const int n = 12;
+  const std::size_t count = 512;
+  const std::size_t bytes = count * sizeof(double);
+  std::vector<int> node_of(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) node_of[static_cast<std::size_t>(r)] = r / 4;
+  std::vector<double> in(count), out(count);
+  std::size_t two_sends = 0, two_bytes = 0, flat_bytes = 0;
+  for (int me = 0; me < n; ++me) {
+    auto two = coll::build_iallreduce_two_level(me, n, in.data(), out.data(),
+                                                count, nbc::DType::F64,
+                                                mpi::ReduceOp::Sum, node_of);
+    two_sends += two.total_sends();
+    two_bytes += two.total_send_bytes();
+    auto flat = coll::build_iallreduce_reduce_bcast(me, n, in.data(),
+                                                    out.data(), count,
+                                                    nbc::DType::F64,
+                                                    mpi::ReduceOp::Sum);
+    flat_bytes += flat.total_send_bytes();
+  }
+  // Reduce up + broadcast down, both full-vector: 2(n-1) messages.
+  EXPECT_EQ(two_sends, 2u * static_cast<std::size_t>(n - 1));
+  EXPECT_EQ(two_bytes, 2u * static_cast<std::size_t>(n - 1) * bytes);
+  EXPECT_EQ(two_bytes, flat_bytes);
+}
+
+// ------------------------------------------------------ data integrity
+
+namespace {
+
+std::vector<int> world_node_of(mpi::Ctx& ctx, int n) {
+  std::vector<int> node_of(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    node_of[static_cast<std::size_t>(r)] = ctx.world().node_of(r);
+  }
+  return node_of;
+}
+
+}  // namespace
+
+TEST(TwoLevelCorrectness, BcastDeliversRootData) {
+  const int n = 12;  // whale: 8 cores/node -> one full node + one partial
+  const std::size_t bytes = 3000;
+  const int root = 5;
+  std::vector<std::vector<std::byte>> bufs(static_cast<std::size_t>(n));
+  t::run_world(net::whale(), n, [&](mpi::Ctx& ctx) {
+    const int me = ctx.world_rank();
+    auto& buf = bufs[static_cast<std::size_t>(me)];
+    buf = me == root ? t::make_pattern(root, bytes)
+                     : std::vector<std::byte>(bytes);
+    nbc::Schedule s = coll::build_ibcast_two_level(
+        me, n, buf.data(), bytes, root, world_node_of(ctx, n));
+    nbc::Handle h(ctx, ctx.world().comm_world(), &s, 1 << 20);
+    h.start();
+    h.wait();
+  });
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(bufs[static_cast<std::size_t>(r)], t::make_pattern(root, bytes))
+        << "rank " << r;
+  }
+}
+
+TEST(TwoLevelCorrectness, AllreduceSumsAcrossNodes) {
+  const int n = 12;
+  const std::size_t count = 300;
+  std::vector<std::vector<double>> outs(
+      static_cast<std::size_t>(n), std::vector<double>(count));
+  t::run_world(net::whale(), n, [&](mpi::Ctx& ctx) {
+    const int me = ctx.world_rank();
+    std::vector<double> in(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      in[i] = me + static_cast<double>(i) * 0.5;
+    }
+    nbc::Schedule s = coll::build_iallreduce_two_level(
+        me, n, in.data(), outs[static_cast<std::size_t>(me)].data(), count,
+        nbc::DType::F64, mpi::ReduceOp::Sum, world_node_of(ctx, n));
+    nbc::Handle h(ctx, ctx.world().comm_world(), &s, 1 << 20);
+    h.start();
+    h.wait();
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    const double expect = n * (n - 1) / 2.0 + n * (static_cast<double>(i) * 0.5);
+    for (int r = 0; r < n; ++r) {
+      EXPECT_NEAR(outs[static_cast<std::size_t>(r)][i], expect, 1e-9)
+          << "rank " << r << " element " << i;
+    }
+  }
+}
+
+// ------------------------------------------------- multi-rail speedup
+
+TEST(MultiRail, StripedAndRailBeatSingleRailFanAtLargeSizes) {
+  // The acceptance shape of the hierarchy sweep, shrunk to test budget:
+  // on the dual-HCA crill preset the root's 1 MiB blocks serialize on one
+  // NIC under the fan mapping, while rail round-robin and striping use
+  // both (function-set order: linear, fan-rail0, rail, striped).
+  harness::MicroScenario s;
+  s.platform = net::crill();
+  s.op = harness::OpKind::Iscatter;
+  s.nprocs = 96;
+  s.bytes = 1 << 20;
+  s.compute_per_iter = 2e-3;
+  s.progress_calls = 5;
+  s.iterations = 3;
+  s.noise_scale = 0.0;
+  const double fan = harness::run_fixed(s, 1).loop_time;
+  const double rail = harness::run_fixed(s, 2).loop_time;
+  const double striped = harness::run_fixed(s, 3).loop_time;
+  EXPECT_LT(rail, fan * 0.75) << "round-robin must relieve the rail-0 choke";
+  EXPECT_LT(striped, fan * 0.75) << "striping must relieve the rail-0 choke";
+}
