@@ -3,10 +3,13 @@
 // Shared helpers for the figure-reproduction benchmark binaries.
 
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -16,6 +19,8 @@
 #include "harness/scenario_pool.hpp"
 #include "harness/table.hpp"
 #include "net/topology.hpp"
+#include "obs/live.hpp"
+#include "obs/sampler.hpp"
 #include "trace/trace.hpp"
 
 namespace nbctune::bench {
@@ -40,6 +45,11 @@ namespace nbctune::bench {
 /// or NBCTUNE_FIBER_STACK).  `--list-platforms` dumps every preset's
 /// node/core/NIC counts, per-level link parameters and hierarchy shape
 /// (net::describe_platform) to stdout and exits before the sweep.
+/// `--live-jsonl=PATH|-` streams scenario lifecycle records as JSONL
+/// while the sweep runs (watch with nbctune-top); the terminal summary
+/// record embeds the exact --report=json bytes.  `--live-sample-ms N`
+/// sets the gauge sampling period of the live stream (default 100,
+/// 0 = off).
 struct Scale {
   enum class ReportMode { None, Table, Json };
   bool full = false;
@@ -51,9 +61,13 @@ struct Scale {
   ReportMode report = ReportMode::None;
   std::string report_path;  ///< report output file ("" = stderr)
   bool list_platforms = false;  ///< dump presets and exit (Driver ctor)
+  std::string live_jsonl;   ///< live JSONL stream path ("-" = stdout)
+  int live_sample_ms = 100;  ///< gauge sampling period (0 = no sampler)
   [[nodiscard]] bool tracing() const noexcept {
-    return !trace_path.empty() || !counters_path.empty() || reporting();
+    return !trace_path.empty() || !counters_path.empty() || reporting() ||
+           live();
   }
+  [[nodiscard]] bool live() const noexcept { return !live_jsonl.empty(); }
   [[nodiscard]] bool reporting() const noexcept {
     return report != ReportMode::None || !report_path.empty();
   }
@@ -98,6 +112,15 @@ struct Scale {
       if (std::strcmp(argv[i], "--list-platforms") == 0) {
         s.list_platforms = true;
       }
+      if (std::strncmp(argv[i], "--live-jsonl=", 13) == 0) {
+        s.live_jsonl = argv[i] + 13;
+      }
+      if (std::strcmp(argv[i], "--live-jsonl") == 0 && i + 1 < argc) {
+        s.live_jsonl = argv[++i];
+      }
+      if (std::strcmp(argv[i], "--live-sample-ms") == 0 && i + 1 < argc) {
+        s.live_sample_ms = std::atoi(argv[++i]);
+      }
     }
     return s;
   }
@@ -126,11 +149,23 @@ class SweepTimer {
   std::chrono::steady_clock::time_point t0_;
 };
 
+/// SIGINT handler installed while a live stream is open: finalize the
+/// stream with an `aborted` summary record (async-signal-safe), then
+/// die by the default disposition so the exit status stays honest.
+extern "C" inline void nbctune_live_sigint(int sig) {
+  obs::LiveSink::abort_from_signal();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
 /// The shared spine of every bench driver: parses the common CLI flags,
 /// owns the ScenarioPool, enables the trace session when `--trace` /
 /// `--trace-counters` is given, and exports the trace files on
 /// destruction.  Replaces the Scale/pool/SweepTimer boilerplate that each
-/// driver used to carry.
+/// driver used to carry.  With `--live-jsonl` it also owns the live
+/// telemetry sink: scenario lifecycle records stream out during the
+/// sweep and the destructor finalizes the stream with a summary record
+/// embedding the exact --report=json bytes.
 class Driver {
  public:
   Driver(std::string name, int argc, char** argv)
@@ -145,25 +180,71 @@ class Driver {
       std::exit(0);
     }
     if (scale_.tracing()) trace::Session::enable();
+    if (scale_.live()) {
+      sink_ = std::make_unique<obs::LiveSink>(scale_.live_jsonl, name_,
+                                              pool_.threads());
+      if (!sink_->ok()) {
+        std::cerr << "[" << name_ << "] cannot open live stream: "
+                  << scale_.live_jsonl << "\n";
+        sink_.reset();
+      } else {
+        trace::Session::set_listener(sink_.get());
+        pool_.set_observer(sink_.get());
+        obs::LiveSink::install_signal_target(sink_.get());
+        std::signal(SIGINT, nbctune_live_sigint);
+        if (scale_.live_sample_ms > 0) {
+          sampler_ = std::make_unique<obs::Sampler>(
+              [this] { sink_->sample(pool_.stats()); },
+              scale_.live_sample_ms);
+        }
+      }
+    }
   }
 
   ~Driver() {
-    if (!scale_.tracing()) return;
-    auto& session = trace::Session::instance();
-    if (!scale_.trace_path.empty()) {
-      std::ofstream os(scale_.trace_path);
-      session.write_chrome(os);
-      std::cerr << "[" << name_ << "] trace: " << session.size()
-                << " scenario(s), " << session.total_events()
-                << " event(s) -> " << scale_.trace_path << "\n";
+    // Teardown order matters: stop the sampler (one final gauge record),
+    // detach the completion-order listener/observer, export the
+    // deterministic artifacts, then finalize the live stream with the
+    // summary record built from the same analysis as --report.
+    if (sampler_) sampler_->stop();
+    if (sink_) {
+      trace::Session::set_listener(nullptr);
+      pool_.set_observer(nullptr);
     }
-    if (!scale_.counters_path.empty()) {
-      std::ofstream os(scale_.counters_path);
-      session.write_counters(os);
-      std::cerr << "[" << name_ << "] counters -> " << scale_.counters_path
-                << "\n";
+    if (scale_.tracing()) {
+      auto& session = trace::Session::instance();
+      if (!scale_.trace_path.empty()) {
+        std::ofstream os(scale_.trace_path);
+        session.write_chrome(os);
+        std::cerr << "[" << name_ << "] trace: " << session.size()
+                  << " scenario(s), " << session.total_events()
+                  << " event(s) -> " << scale_.trace_path << "\n";
+      }
+      if (!scale_.counters_path.empty()) {
+        std::ofstream os(scale_.counters_path);
+        session.write_counters(os);
+        std::cerr << "[" << name_ << "] counters -> " << scale_.counters_path
+                  << "\n";
+      }
+      if (scale_.reporting() || sink_ != nullptr) {
+        // One analysis pass (submission-order traces, so byte-identical
+        // at any thread count) shared by the report and the summary.
+        std::vector<analyze::ScenarioTrace> traces;
+        for (const trace::FinishedTrace& t : session.drain()) {
+          traces.push_back(analyze::from_finished(t));
+        }
+        const analyze::Report report = analyze::analyze(traces);
+        if (scale_.reporting()) write_report(report, traces.size());
+        if (sink_ != nullptr) {
+          std::ostringstream json;
+          analyze::write_json(json, report);
+          sink_->write_summary(report, json.str());
+          std::cerr << "[" << name_ << "] live stream -> "
+                    << scale_.live_jsonl << "\n";
+        }
+      }
     }
-    if (scale_.reporting()) write_report(session);
+    if (sink_) obs::LiveSink::install_signal_target(nullptr);
   }
 
   Driver(const Driver&) = delete;
@@ -186,15 +267,10 @@ class Driver {
   }
 
  private:
-  /// Drain the finished traces and run the post-hoc analysis.  Traces
+  /// Write the post-hoc analysis where --report asked for it.  Traces
   /// are adopted in submission order regardless of the worker count, so
   /// the report bytes are identical at --threads 1 and --threads N.
-  void write_report(trace::Session& session) {
-    std::vector<analyze::ScenarioTrace> traces;
-    for (const trace::FinishedTrace& t : session.drain()) {
-      traces.push_back(analyze::from_finished(t));
-    }
-    const analyze::Report report = analyze::analyze(traces);
+  void write_report(const analyze::Report& report, std::size_t count) {
     if (!scale_.report_path.empty()) {
       std::ofstream os(scale_.report_path);
       if (scale_.report == Scale::ReportMode::Table) {
@@ -202,7 +278,7 @@ class Driver {
       } else {
         analyze::write_json(os, report);
       }
-      std::cerr << "[" << name_ << "] report: " << traces.size()
+      std::cerr << "[" << name_ << "] report: " << count
                 << " scenario(s) -> " << scale_.report_path << "\n";
     } else if (scale_.report == Scale::ReportMode::Json) {
       analyze::write_json(std::cerr, report);
@@ -214,6 +290,8 @@ class Driver {
   std::string name_;
   Scale scale_;
   harness::ScenarioPool pool_;
+  std::unique_ptr<obs::LiveSink> sink_;
+  std::unique_ptr<obs::Sampler> sampler_;
 };
 
 /// Print one verification run as a figure-style table: every fixed

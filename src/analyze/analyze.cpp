@@ -919,9 +919,10 @@ Report analyze(const std::vector<ScenarioTrace>& traces,
       blame_samples[5].push_back(oc.blame.other);
       if (oc.elapsed > worst_elapsed) {
         worst_elapsed = oc.elapsed;
-        sr.worst = std::move(oc);
+        sr.worst = oc;
         sr.has_critical = true;
       }
+      sr.op_criticals.push_back(std::move(oc));
     }
     sr.op_stats = order_stats(std::move(elapsed_samples));
     sr.blame_stats.compute = order_stats(std::move(blame_samples[0]));
@@ -944,6 +945,7 @@ Report analyze(const std::vector<ScenarioTrace>& traces,
       };
       sr.fibers_created = ctr("sim.fibers_created");
       sr.peak_arena_bytes = ctr("world.peak_arena_bytes");
+      sr.dropped_events = ctr("trace.dropped_events");
     }
 
     // Post-decision performance: ops starting after the decision event.

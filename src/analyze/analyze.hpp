@@ -256,6 +256,17 @@ struct ScenarioReport {
   SampleStats op_stats;
   BlameStats blame_stats;
   bool min_reps_met = false;
+  /// Every op instance's critical-rank analysis, ordered by correlation
+  /// id (deterministic).  This is the raw material of the profile
+  /// exporters (src/obs: collapsed-stack / speedscope frames are
+  /// rank;op;phase weighted by these blame partitions); not serialized
+  /// into the JSON report.
+  std::vector<OpCritical> op_criticals;
+  /// Events discarded by the trace buffer cap (NBCTUNE_TRACE_MAX_EVENTS);
+  /// non-zero means every number above is computed from a truncated
+  /// event stream and should be read as a lower bound.
+  std::uint64_t dropped_events = 0;
+  [[nodiscard]] bool truncated() const noexcept { return dropped_events > 0; }
 };
 
 /// Outcome of one performance-guideline check.

@@ -169,6 +169,12 @@ void write_json(std::ostream& os, const Report& report) {
       os << ",\"exec\":{\"fibers_created\":" << s.fibers_created
          << ",\"peak_arena_bytes\":" << s.peak_arena_bytes << "}";
     }
+    // Conditional: only capped traces carry the key, so fault-free golden
+    // reports stay byte-identical.
+    if (s.truncated()) {
+      os << ",\"trace\":{\"dropped_events\":" << s.dropped_events
+         << ",\"truncated\":true}";
+    }
     os << "}";
   }
   os << "\n]";
@@ -314,6 +320,11 @@ void write_table(std::ostream& os, const Report& report) {
       os << "  exec: fibers " << s.fibers_created << ", peak arena "
          << s.peak_arena_bytes << " B"
          << (s.fibers_created == 0 ? " (machine mode)" : "") << "\n";
+    }
+    if (s.truncated()) {
+      os << "  TRUNCATED: " << s.dropped_events
+         << " event(s) dropped by the trace buffer cap; all numbers above "
+            "are lower bounds\n";
     }
   }
   os << "\n== guidelines ==\n";

@@ -28,7 +28,11 @@ struct ScenarioPool::Impl {
     std::deque<std::size_t> q;
   };
 
-  explicit Impl(int threads) : shards(static_cast<std::size_t>(threads)) {
+  Impl(int threads, std::atomic<std::uint64_t>* completed,
+       std::atomic<std::uint64_t>* steals)
+      : shards(static_cast<std::size_t>(threads)),
+        completed_ctr(completed),
+        steals_ctr(steals) {
     workers.reserve(static_cast<std::size_t>(threads));
     for (int w = 0; w < threads; ++w) {
       workers.emplace_back([this, w] { worker_main(w); });
@@ -95,8 +99,19 @@ struct ScenarioPool::Impl {
       if (v.q.empty()) continue;  // raced: somebody drained it, rescan
       *idx = v.q.back();
       v.q.pop_back();
+      steals_ctr->fetch_add(1, std::memory_order_relaxed);
       return true;
     }
+  }
+
+  /// Task indices still parked in shard deques (observability gauge).
+  std::size_t queued() {
+    std::size_t n = 0;
+    for (Shard& s : shards) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      n += s.q.size();
+    }
+    return n;
   }
 
   void run_task(std::size_t idx) {
@@ -116,6 +131,7 @@ struct ScenarioPool::Impl {
       }
     }
     if (tracing) trace::Session::set_staging(prev_staging);
+    completed_ctr->fetch_add(1, std::memory_order_relaxed);
     if (unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lk(mu);
       done_cv.notify_all();
@@ -166,6 +182,8 @@ struct ScenarioPool::Impl {
 
   std::vector<Shard> shards;
   std::vector<std::thread> workers;
+  std::atomic<std::uint64_t>* completed_ctr;
+  std::atomic<std::uint64_t>* steals_ctr;
   std::mutex mu;
   std::condition_variable work_cv;
   std::condition_variable done_cv;
@@ -192,14 +210,31 @@ int ScenarioPool::resolve_threads(int requested) noexcept {
 
 ScenarioPool::ScenarioPool(int threads)
     : impl_(nullptr), threads_(resolve_threads(threads)) {
-  if (threads_ > 1) impl_ = new Impl(threads_);
+  if (threads_ > 1) impl_ = new Impl(threads_, &completed_, &steals_);
 }
 
 ScenarioPool::~ScenarioPool() { delete impl_; }
 
+PoolStats ScenarioPool::stats() const {
+  PoolStats s;
+  s.tasks_submitted = submitted_.load(std::memory_order_relaxed);
+  s.tasks_completed = completed_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.queued = impl_ != nullptr ? impl_->queued() : 0;
+  s.inflight = s.tasks_submitted >= s.tasks_completed
+                   ? static_cast<std::size_t>(s.tasks_submitted -
+                                              s.tasks_completed)
+                   : 0;
+  return s;
+}
+
 void ScenarioPool::run_indexed(std::size_t n,
                                const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  submitted_.fetch_add(n, std::memory_order_relaxed);
+  if (PoolObserver* o = observer_.load(std::memory_order_acquire)) {
+    o->on_batch_begin(n);
+  }
   const bool pooled =
       impl_ != nullptr && n > 1 && !busy_.exchange(true, std::memory_order_acquire);
   if (!pooled) {
@@ -212,6 +247,7 @@ void ScenarioPool::run_indexed(std::size_t n,
       } catch (...) {
         if (error == nullptr) error = std::current_exception();
       }
+      completed_.fetch_add(1, std::memory_order_relaxed);
     }
     if (error != nullptr) std::rethrow_exception(error);
     return;

@@ -24,11 +24,32 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
 
 namespace nbctune::harness {
+
+/// Live snapshot of a pool's activity gauges (the obs sampler polls
+/// this; see src/obs).  submitted/completed/steals are cumulative over
+/// the pool's lifetime; queued and inflight describe the current batch.
+struct PoolStats {
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t steals = 0;        ///< tasks taken from a victim's deque
+  std::size_t queued = 0;          ///< indices still sitting in shard deques
+  std::size_t inflight = 0;        ///< submitted - completed (running batch)
+};
+
+/// Observer of pool batch lifecycles.  on_batch_begin fires on the
+/// submitting thread before any task runs; implementations must be
+/// thread-safe (tasks of a batch may already be executing while it runs).
+class PoolObserver {
+ public:
+  virtual ~PoolObserver() = default;
+  virtual void on_batch_begin(std::size_t tasks) = 0;
+};
 
 class ScenarioPool {
  public:
@@ -74,11 +95,27 @@ class ScenarioPool {
     return out;
   }
 
+  /// Install a batch-lifecycle observer (nullptr to detach); read
+  /// atomically at batch submission.
+  void set_observer(PoolObserver* o) noexcept {
+    observer_.store(o, std::memory_order_release);
+  }
+
+  /// Snapshot the activity gauges.  Cheap (three atomic loads) except for
+  /// the queue-depth scan, which briefly locks each shard — intended for
+  /// sampling rates, not hot loops.
+  [[nodiscard]] PoolStats stats() const;
+
  private:
   struct Impl;
   Impl* impl_;  // pimpl: keeps <thread>/<mutex> out of this header
   int threads_;
   std::atomic<bool> busy_{false};  // batch in flight (run_indexed re-entrancy)
+  std::atomic<PoolObserver*> observer_{nullptr};
+  // Cumulative gauges; maintained by both the pooled and inline paths.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 }  // namespace nbctune::harness

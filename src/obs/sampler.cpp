@@ -1,0 +1,42 @@
+#include "obs/sampler.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace nbctune::obs {
+
+Sampler::Sampler(std::function<void()> tick, int period_ms)
+    : tick_(std::move(tick)), period_ms_(period_ms) {
+  if (period_ms_ <= 0 || !tick_) return;
+  th_ = std::thread([this] {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      if (cv_.wait_for(lk, std::chrono::milliseconds(period_ms_),
+                       [this] { return stop_; })) {
+        return;
+      }
+      lk.unlock();
+      tick_();
+      lk.lock();
+    }
+  });
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::stop() {
+  if (th_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    th_.join();
+  }
+  if (!stopped_ && tick_ && period_ms_ > 0) {
+    stopped_ = true;
+    tick_();  // final snapshot: the stream never ends on a stale gauge
+  }
+}
+
+}  // namespace nbctune::obs

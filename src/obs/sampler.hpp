@@ -1,0 +1,47 @@
+#pragma once
+
+// Periodic gauge sampler: a background thread that invokes a tick
+// callback at a fixed period until stopped.  The bench driver composes
+// it with LiveSink::sample and ScenarioPool::stats to put a time series
+// of pool/trace/process gauges into the live stream.
+//
+// The thread is intentionally dumb — no work queue, no drift
+// compensation — because the consumers are dashboards, not measurements:
+// the simulated clocks that produce the paper's numbers never see it.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace nbctune::obs {
+
+class Sampler {
+ public:
+  /// Start ticking `tick` every `period_ms` milliseconds (first tick one
+  /// period after construction).  `period_ms <= 0` starts nothing.
+  Sampler(std::function<void()> tick, int period_ms);
+
+  /// Joins the thread (equivalent to stop()).
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Stop and join; emits one final tick so the stream always ends with
+  /// a fresh gauge snapshot.  Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return th_.joinable(); }
+
+ private:
+  std::function<void()> tick_;
+  int period_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;  ///< final tick already emitted
+  std::thread th_;
+};
+
+}  // namespace nbctune::obs

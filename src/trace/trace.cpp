@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <ostream>
@@ -115,6 +116,8 @@ const char* ctr_name(Ctr c) noexcept {
       return "net.rail_pinned_msgs";
     case Ctr::RailAutoMsgs:
       return "net.rail_auto_msgs";
+    case Ctr::TraceDroppedEvents:
+      return "trace.dropped_events";
     case Ctr::kCount:
       break;
   }
@@ -145,6 +148,17 @@ const char* hist_name(Hist h) noexcept {
   return "?";
 }
 
+std::size_t Tracer::default_max_events() noexcept {
+  // Read per construction (one getenv per scenario, noise at sweep
+  // granularity) so tests and long-running drivers can adjust the cap
+  // without re-launching.
+  if (const char* env = std::getenv("NBCTUNE_TRACE_MAX_EVENTS")) {
+    const long long n = std::atoll(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
 void Tracer::record(Hist h, std::uint64_t v) noexcept {
   HistData& d = hists_[static_cast<std::size_t>(h)];
   // bucket 0: v == 0; bucket i >= 1: v in [2^(i-1), 2^i).
@@ -161,6 +175,7 @@ thread_local Tracer* tl_current = nullptr;
 thread_local std::vector<FinishedTrace>* tl_staging = nullptr;
 
 std::atomic<bool> g_enabled{false};
+std::atomic<Session::Listener*> g_listener{nullptr};
 
 }  // namespace
 
@@ -182,6 +197,14 @@ struct Session::Impl {
 Session::Impl& Session::impl() const {
   static Impl i;
   return i;
+}
+
+void Session::set_listener(Listener* l) noexcept {
+  g_listener.store(l, std::memory_order_release);
+}
+
+Session::Listener* Session::listener() noexcept {
+  return g_listener.load(std::memory_order_acquire);
 }
 
 bool Session::enabled() noexcept {
@@ -388,6 +411,9 @@ Scope::Scope(std::string label) {
   if (!Session::enabled()) return;
   tracer_ = std::make_unique<Tracer>(std::move(label));
   prev_ = set_current(tracer_.get());
+  if (Session::Listener* l = Session::listener()) {
+    l->on_scope_start(tracer_->label());
+  }
 }
 
 Scope::~Scope() {
@@ -398,6 +424,12 @@ Scope::~Scope() {
   f.events = std::move(tracer_->events_);
   f.counts = tracer_->counts_;
   f.hists = tracer_->hists_;
+  // The listener sees the finished trace in completion order, before the
+  // submission-order staging/adoption path takes ownership — this is the
+  // live-streaming seam (src/obs).
+  if (Session::Listener* l = Session::listener()) {
+    l->on_scope_finish(f);
+  }
   Session::finish(std::move(f));
 }
 

@@ -95,6 +95,8 @@ enum class Ctr : std::uint8_t {
   WorldPeakArenaBytes,    ///< flat per-rank World arenas at destruction
   RailPinnedMsgs,         ///< inter-node messages on a pinned NIC rail
   RailAutoMsgs,           ///< inter-node messages on the default rail spread
+  TraceDroppedEvents,     ///< events discarded by the buffer cap (see
+                          ///< NBCTUNE_TRACE_MAX_EVENTS)
   kCount,
 };
 [[nodiscard]] const char* ctr_name(Ctr c) noexcept;
@@ -153,9 +155,23 @@ struct HistData {
 /// array adds — no locks, no allocation beyond vector growth.
 class Tracer {
  public:
-  explicit Tracer(std::string label) : label_(std::move(label)) {}
+  explicit Tracer(std::string label)
+      : label_(std::move(label)), max_events_(default_max_events()) {}
 
-  void emit(const Event& e) { events_.push_back(e); }
+  /// Event-buffer cap for new tracers: $NBCTUNE_TRACE_MAX_EVENTS, 0 (the
+  /// default) = unbounded.  A mega-scale sweep can emit hundreds of
+  /// millions of events; with a cap the buffer stops growing and every
+  /// discarded event is tallied in Ctr::TraceDroppedEvents instead, so
+  /// exports stay honest about their truncation.
+  [[nodiscard]] static std::size_t default_max_events() noexcept;
+
+  void emit(const Event& e) {
+    if (max_events_ != 0 && events_.size() >= max_events_) {
+      counts_[static_cast<std::size_t>(Ctr::TraceDroppedEvents)] += 1;
+      return;
+    }
+    events_.push_back(e);
+  }
   void count(Ctr c, std::uint64_t d = 1) noexcept {
     counts_[static_cast<std::size_t>(c)] += d;
   }
@@ -176,6 +192,7 @@ class Tracer {
   friend class Session;
   friend class Scope;
   std::string label_;
+  std::size_t max_events_ = 0;  ///< 0 = unbounded
   std::vector<Event> events_;
   std::array<std::uint64_t, static_cast<std::size_t>(Ctr::kCount)> counts_{};
   std::array<HistData, static_cast<std::size_t>(Hist::kCount)> hists_{};
@@ -234,6 +251,24 @@ struct FinishedTrace {
 /// buffers and adopts them by submission index after the batch joins.
 class Session {
  public:
+  /// Live observer of scenario lifecycles (src/obs wires its streaming
+  /// JSONL sink here).  Callbacks fire on whatever thread runs the
+  /// scenario — start from the Scope constructor, finish from the Scope
+  /// destructor *before* the trace is staged/adopted, i.e. in completion
+  /// order, not submission order.  Implementations must be thread-safe.
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    virtual void on_scope_start(const std::string& label) = 0;
+    virtual void on_scope_finish(const FinishedTrace& t) = 0;
+  };
+
+  /// Install the process-wide lifecycle listener (nullptr to detach).
+  /// Install before the sweep starts and detach after it joins; the
+  /// pointer itself is read atomically on the scenario hot path.
+  static void set_listener(Listener* l) noexcept;
+  [[nodiscard]] static Listener* listener() noexcept;
+
   /// True once enable() was called (lock-free flag read).
   [[nodiscard]] static bool enabled() noexcept;
   /// Turn the session on (idempotent).  There is no disable: a session

@@ -12,6 +12,12 @@
 //   --epsilon X         guideline tolerance (default 0.25)
 //   --min-reps N        repetitions below which a scenario's stats are
 //                       flagged as not-a-measurement (default 5)
+//   --flame FILE        write collapsed stacks (rank;op;phase weighted
+//                       by blame nanoseconds) for flamegraph.pl
+//   --speedscope FILE   write a speedscope JSON profile of the same
+//                       blame partition
+//   --otlp-json FILE    write an OTLP/JSON span export of every
+//                       rank/wire track span (requires NBCTUNE_OTLP=ON)
 //
 // Reads the Chrome trace-event JSON exported by any bench driver's
 // --trace flag, reconstructs the per-scenario event streams, and runs
@@ -35,6 +41,15 @@
 // winners or guideline verdicts drift beyond tolerance.  See
 // docs/METHODOLOGY.md for how to read a failure.
 //
+// Extract mode:
+//
+//   nbctune-analyze --extract-report live.jsonl [--out FILE]
+//
+// Pulls the embedded report JSON out of a live stream's terminal
+// summary record (see src/obs/live.hpp) and prints it verbatim — the
+// bytes equal a `--report=json` run of the same sweep, so CI can `cmp`
+// a streamed sweep against the golden report.
+//
 // Exit codes: 0 ok, 1 I/O or parse error, 2 usage, 3 guideline failure
 // (analysis mode), 4 regression beyond tolerance (regress mode).
 
@@ -47,7 +62,9 @@
 
 #include "analyze/analyze.hpp"
 #include "analyze/chrome_reader.hpp"
+#include "analyze/json_min.hpp"
 #include "analyze/regress.hpp"
+#include "obs/profile.hpp"
 
 namespace {
 
@@ -58,8 +75,68 @@ int usage(const char* argv0) {
                "       "
             << argv0
             << " --regress old.json new.json [--tolerance KEY=VAL]..."
-               " [--tolerance-config FILE] [--out FILE]\n";
+               " [--tolerance-config FILE] [--out FILE]\n"
+               "       "
+            << argv0
+            << " --extract-report live.jsonl [--out FILE]\n"
+               "  profile exporters (analysis mode): [--flame FILE]"
+               " [--speedscope FILE] [--otlp-json FILE]\n";
   return 2;
+}
+
+/// Find the last summary record of a live JSONL stream and print its
+/// embedded report JSON verbatim.
+int run_extract(const std::vector<std::string>& inputs,
+                const std::string& out_path) {
+  using namespace nbctune;
+  if (inputs.size() != 1) {
+    std::cerr << "--extract-report needs exactly one live stream, got "
+              << inputs.size() << "\n";
+    return 2;
+  }
+  std::ifstream is(inputs[0]);
+  if (!is) {
+    std::cerr << "cannot open live stream: " << inputs[0] << "\n";
+    return 1;
+  }
+  std::string report;
+  std::string status;
+  bool found = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] != '{') continue;
+    analyze::jsonmin::Value v;
+    try {
+      v = analyze::jsonmin::parse(line);
+    } catch (const std::exception&) {
+      continue;  // interleaved non-record line
+    }
+    const analyze::jsonmin::Value* type = v.get("type");
+    if (type == nullptr || type->str != "summary") continue;
+    if (const analyze::jsonmin::Value* st = v.get("status")) {
+      status = st->str;
+    }
+    if (const analyze::jsonmin::Value* r = v.get("report")) {
+      report = r->str;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::cerr << inputs[0] << ": no summary record with an embedded report"
+              << (status.empty() ? "" : " (status: " + status + ")") << "\n";
+    return 1;
+  }
+  if (out_path.empty()) {
+    std::cout << report;
+  } else {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::cerr << "cannot write report: " << out_path << "\n";
+      return 1;
+    }
+    os << report;
+  }
+  return 0;
 }
 
 int run_regress(const std::vector<std::string>& inputs,
@@ -112,8 +189,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::string counters_path;
   std::string out_path;
+  std::string flame_path;
+  std::string speedscope_path;
+  std::string otlp_path;
   bool json = false;
   bool regress_mode = false;
+  bool extract_mode = false;
   analyze::Options opts;
   analyze::RegressTolerances tol;
   for (int i = 1; i < argc; ++i) {
@@ -128,6 +209,14 @@ int main(int argc, char** argv) {
       opts.min_reps = std::atoi(argv[++i]);
     } else if (std::strcmp(a, "--regress") == 0) {
       regress_mode = true;
+    } else if (std::strcmp(a, "--extract-report") == 0) {
+      extract_mode = true;
+    } else if (std::strcmp(a, "--flame") == 0 && i + 1 < argc) {
+      flame_path = argv[++i];
+    } else if (std::strcmp(a, "--speedscope") == 0 && i + 1 < argc) {
+      speedscope_path = argv[++i];
+    } else if (std::strcmp(a, "--otlp-json") == 0 && i + 1 < argc) {
+      otlp_path = argv[++i];
     } else if (std::strcmp(a, "--tolerance") == 0 && i + 1 < argc) {
       const std::string kv = argv[++i];
       const std::size_t eq = kv.find('=');
@@ -165,6 +254,12 @@ int main(int argc, char** argv) {
   }
   if (inputs.empty()) return usage(argv[0]);
   if (regress_mode) return run_regress(inputs, tol, out_path);
+  if (extract_mode) return run_extract(inputs, out_path);
+  if (!otlp_path.empty() && !obs::otlp_enabled()) {
+    std::cerr << "--otlp-json: this build has no OTLP exporter "
+                 "(reconfigure with -DNBCTUNE_OTLP=ON)\n";
+    return 2;
+  }
 
   std::vector<analyze::ScenarioTrace> traces;
   for (const std::string& path : inputs) {
@@ -183,6 +278,37 @@ int main(int argc, char** argv) {
   }
 
   analyze::Report report = analyze::analyze(traces, opts);
+  if (!flame_path.empty()) {
+    std::ofstream os(flame_path);
+    if (!os) {
+      std::cerr << "cannot write collapsed stacks: " << flame_path << "\n";
+      return 1;
+    }
+    obs::write_collapsed(os, report);
+    std::cerr << "flame: " << obs::profile_total_weight_ns(report)
+              << " ns of blame -> " << flame_path << "\n";
+  }
+  if (!speedscope_path.empty()) {
+    std::ofstream os(speedscope_path);
+    if (!os) {
+      std::cerr << "cannot write speedscope profile: " << speedscope_path
+                << "\n";
+      return 1;
+    }
+    obs::write_speedscope(os, report);
+    std::cerr << "speedscope: " << report.scenarios.size()
+              << " profile(s) -> " << speedscope_path << "\n";
+  }
+  if (!otlp_path.empty()) {
+    std::ofstream os(otlp_path);
+    if (!os) {
+      std::cerr << "cannot write OTLP spans: " << otlp_path << "\n";
+      return 1;
+    }
+    obs::write_otlp(os, traces);
+    std::cerr << "otlp: " << traces.size() << " trace(s) -> " << otlp_path
+              << "\n";
+  }
   if (!counters_path.empty()) {
     std::ifstream is(counters_path);
     if (!is) {
