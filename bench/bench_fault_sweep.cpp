@@ -22,7 +22,12 @@ using namespace nbctune::harness;
 
 int main(int argc, char** argv) {
   bench::Driver drv("fault_sweep", argc, argv);
-  const auto plans = fault::canned_plans();
+  // Recoverable message-level plans only: the fail-stop kill plans have
+  // their own driver (bench_failure_sweep) with recovery-focused goldens.
+  std::vector<fault::CannedPlan> plans;
+  for (const fault::CannedPlan& p : fault::canned_plans()) {
+    if (!fault::FaultPlan::parse(p.spec).has_kills()) plans.push_back(p);
+  }
 
   for (const auto& platform : {net::whale(), net::whale_tcp()}) {
     MicroScenario base;

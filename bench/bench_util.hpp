@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analyze/analyze.hpp"
+#include "fault/fault.hpp"
 #include "harness/microbench.hpp"
 #include "harness/scenario_pool.hpp"
 #include "harness/table.hpp"
@@ -45,6 +46,9 @@ namespace nbctune::bench {
 /// or NBCTUNE_FIBER_STACK).  `--list-platforms` dumps every preset's
 /// node/core/NIC counts, per-level link parameters and hierarchy shape
 /// (net::describe_platform) to stdout and exits before the sweep.
+/// `--list-plans` likewise dumps every canned fault plan — name, a
+/// one-line description and the exact spec string a driver's fault
+/// option accepts — and exits before the sweep.
 /// `--live-jsonl=PATH|-` streams scenario lifecycle records as JSONL
 /// while the sweep runs (watch with nbctune-top); the terminal summary
 /// record embeds the exact --report=json bytes.  `--live-sample-ms N`
@@ -61,6 +65,7 @@ struct Scale {
   ReportMode report = ReportMode::None;
   std::string report_path;  ///< report output file ("" = stderr)
   bool list_platforms = false;  ///< dump presets and exit (Driver ctor)
+  bool list_plans = false;      ///< dump canned fault plans and exit
   std::string live_jsonl;   ///< live JSONL stream path ("-" = stdout)
   int live_sample_ms = 100;  ///< gauge sampling period (0 = no sampler)
   [[nodiscard]] bool tracing() const noexcept {
@@ -111,6 +116,9 @@ struct Scale {
       }
       if (std::strcmp(argv[i], "--list-platforms") == 0) {
         s.list_platforms = true;
+      }
+      if (std::strcmp(argv[i], "--list-plans") == 0) {
+        s.list_plans = true;
       }
       if (std::strncmp(argv[i], "--live-jsonl=", 13) == 0) {
         s.live_jsonl = argv[i] + 13;
@@ -176,6 +184,13 @@ class Driver {
       for (const char* p : {"crill", "whale", "whale-tcp", "bgp", "mega"}) {
         net::describe_platform(std::cout, net::platform_by_name(p));
         std::cout << "\n";
+      }
+      std::exit(0);
+    }
+    if (scale_.list_plans) {
+      for (const fault::CannedPlan& p : fault::canned_plans()) {
+        std::cout << p.name << "\n  " << p.desc << "\n  spec: " << p.spec
+                  << "\n\n";
       }
       std::exit(0);
     }

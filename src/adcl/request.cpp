@@ -115,6 +115,43 @@ void Request::start() {
   wait();
 }
 
+void Request::abandon() {
+  if (handle_) handle_->abort();
+  active_ = false;
+  progress_calls_ = 0;
+}
+
+void Request::recover(const mpi::Comm& comm, int resume_iteration) {
+  // Abandon the in-flight execution: it can never complete against the
+  // pre-shrink membership.
+  if (handle_) handle_->abort();
+  active_ = false;
+  progress_calls_ = 0;
+  args_.comm = comm;
+  // Cached schedules address dead peers; dropping them forces a rebuild
+  // against the survivor communicator at the next init (hierarchical
+  // builders re-elect node leaders from the new membership).  The bound
+  // schedule pointer in the handle dangles until then, so force a rebind.
+  schedules_.clear();
+  bound_function_ = -1;
+  tag_ = ctx_.alloc_nbc_tag();
+  if (handle_) handle_->rebind_comm(comm, tag_);
+  if (opts_.history != nullptr) {
+    // The group size changed: decisions record under the new key.
+    state_->set_history_key(history_key(
+        ctx_.world().platform().name, fset_->name(), args_.comm.size(),
+        args_.bytes != 0 ? args_.bytes : args_.count, opts_.history_extra));
+  }
+  state_->reset_for_shrink(ctx_, resume_iteration);
+  trace::count(trace::Ctr::NbcRebuilds);
+  if (trace::active()) {
+    trace::instant(ctx_.now(), ctx_.world_rank(), trace::Cat::Nbc,
+                   "nbc.rebuild", "size",
+                   static_cast<std::uint64_t>(comm.size()), "tag",
+                   static_cast<std::uint64_t>(tag_));
+  }
+}
+
 // ------------------------------------------------------------------ Timer
 
 Timer::Timer(mpi::Ctx& ctx, std::vector<Request*> requests)

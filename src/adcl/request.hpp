@@ -55,6 +55,21 @@ class Request {
   /// init() + wait(): blocking execution (ADCL_Request_start).
   void start();
 
+  /// Fail-stop recovery: abandon any in-flight execution, rebind the
+  /// request to the shrunk communicator `comm` with a fresh tag, drop the
+  /// cached schedules (they address dead peers; rebuilt lazily, which
+  /// also re-elects node leaders in hierarchical function sets) and
+  /// re-open tuning rolled back to `resume_iteration`.  Call once per
+  /// recovery epoch; co-tuned requests sharing a SelectionState must
+  /// funnel through a single recover() call per state.
+  void recover(const mpi::Comm& comm, int resume_iteration);
+
+  /// Fail-stop unwind of a dying rank: abort the in-flight execution (it
+  /// can neither complete nor be redone here) so the started = completed
+  /// + aborted ledger stays exact, without touching the selection state.
+  /// No-op when nothing is in flight.
+  void abandon();
+
   // ---- machine-mode execution surface (exec::MachineRunner) ----
   // init()/wait()/progress() decomposed into their non-blocking pieces;
   // the fiberless driver runs the handle phases and wait loop itself.
@@ -132,6 +147,11 @@ class Timer {
   void start();
   /// End the timed section and feed the selection logic (ADCL_Timer_end).
   void stop();
+
+  /// Discard a running measurement without recording it (fail-stop
+  /// recovery: the bracketed section was interrupted mid-flight, so its
+  /// elapsed time is meaningless).  No-op when not running.
+  void abort() noexcept { running_ = false; }
 
   [[nodiscard]] bool running() const noexcept { return running_; }
 

@@ -630,6 +630,40 @@ void SelectionState::maybe_drift(mpi::Ctx& ctx, const mpi::Comm& comm,
   }
 }
 
+void SelectionState::reset_for_shrink(mpi::Ctx& ctx, int resume_iteration) {
+  // Same reset as a drift re-tune, plus the iteration rollback: ranks
+  // interrupted ahead of the failure had recorded samples the others
+  // never saw, and redoing from the agreed iteration realigns them.
+  ++retunes_;
+  retune_iterations_.push_back(resume_iteration);
+  trace::count(trace::Ctr::AdclRetunes);
+  if (trace::active()) {
+    trace::instant(ctx.now(), ctx.world_rank(), trace::Cat::Adcl,
+                   "adcl.retune", "shrink", 1, "iter",
+                   static_cast<std::uint64_t>(resume_iteration),
+                   static_cast<std::uint64_t>(resume_iteration));
+  }
+  decided_ = false;
+  winner_ = -1;
+  iterations_ = resume_iteration;
+  decision_iteration_ = -1;
+  decision_time_ = std::numeric_limits<double>::quiet_NaN();
+  baseline_score_ = std::numeric_limits<double>::quiet_NaN();
+  scores_.clear();
+  batch_.clear();
+  drift_batch_.clear();
+  policy_ = make_policy(opts_.policy, *fset_, opts_.guidelines.get());
+  policy_elims_seen_ = 0;
+  const int f = policy_->first();
+  adopt_policy_eliminations();
+  emit_elimination_events(ctx);
+  if (f < 0) {
+    finalize(ctx);
+  } else {
+    current_ = f;
+  }
+}
+
 void SelectionState::finalize(mpi::Ctx& ctx) {
   decided_ = true;
   winner_ = policy_->winner();

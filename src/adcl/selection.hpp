@@ -135,6 +135,13 @@ class SelectionState {
   /// Historic learning / testing: skip the learning phase entirely.
   void force_winner(int func);
 
+  /// Fail-stop recovery: a communicator shrink is a group-size change, so
+  /// the decision (and every agreed score) is stale.  Re-opens tuning
+  /// with a fresh policy — like a drift re-tune — and rolls the iteration
+  /// counter back to `resume_iteration`, the globally agreed iteration
+  /// survivors redo from, so per-rank sample counts realign.
+  void reset_for_shrink(mpi::Ctx& ctx, int resume_iteration);
+
   // ---- introspection ----
   [[nodiscard]] const FunctionSet& function_set() const noexcept {
     return *fset_;

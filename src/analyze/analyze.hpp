@@ -201,6 +201,25 @@ struct FaultSummary {
   }
 };
 
+/// Fail-stop recovery audit replayed from mpi.rank_death / mpi.ft.detect /
+/// mpi.ft.agree / nbc.rebuild / nbc.abort trace events; all zero (and
+/// omitted from reports) for kill-free runs.  Latencies are means over
+/// their populations: detection over deaths, the others over shrink
+/// epochs (agreement rounds that removed ranks).  A death after sweep
+/// completion yields an epoch with no rebuild phase; such epochs are
+/// excluded from the rebuild / time-to-recover means.
+struct RecoverySummary {
+  std::uint64_t deaths = 0;       ///< mpi.rank_death (fail-stop kills)
+  std::uint64_t epochs = 0;       ///< shrink epochs (membership changed)
+  std::uint64_t rebuilds = 0;     ///< nbc.rebuild (per-rank handle rebinds)
+  std::uint64_t aborted_ops = 0;  ///< nbc.abort (executions abandoned)
+  double detection = 0.0;       ///< mean death -> detectable, seconds
+  double agreement = 0.0;       ///< mean first detect -> agreement, seconds
+  double rebuild = 0.0;         ///< mean agreement -> last rebuild, seconds
+  double time_to_recover = 0.0; ///< mean first death -> last rebuild, seconds
+  [[nodiscard]] bool any() const noexcept { return deaths != 0; }
+};
+
 /// Order statistics of one sample set ("MPI Benchmarking Revisited":
 /// report the median with a nonparametric confidence interval, never a
 /// bare mean).  The ~95% CI on the median comes from binomial
@@ -232,6 +251,9 @@ struct ScenarioReport {
   std::string label;
   std::uint64_t ops_started = 0;
   std::uint64_t ops_completed = 0;
+  /// Executions abandoned by fail-stop recovery (nbc.abort events); the
+  /// conservation guideline G1 checks started == completed + aborted.
+  std::uint64_t ops_aborted = 0;
   double mean_op_elapsed = 0.0;  ///< mean nbc.op duration, seconds
   /// Mean op elapsed over ops starting after the ADCL decision (equals
   /// mean_op_elapsed when there is no decision event).
@@ -243,6 +265,7 @@ struct ScenarioReport {
   std::vector<RankOverlap> ranks;
   AdclAudit adcl;
   FaultSummary faults;
+  RecoverySummary recovery;
   /// Execution-resource counters from the per-scenario trace (0 when the
   /// trace predates them): fibers constructed (0 for machine-mode runs)
   /// and the World's flat per-rank arena footprint at destruction.

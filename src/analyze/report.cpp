@@ -62,8 +62,11 @@ void write_json(std::ostream& os, const Report& report) {
     os << (i == 0 ? "" : ",") << "\n{";
     put_str(os, "label", s.label);
     os << "\"ops_started\":" << s.ops_started
-       << ",\"ops_completed\":" << s.ops_completed
-       << ",\"mean_op_ns\":" << ns(s.mean_op_elapsed)
+       << ",\"ops_completed\":" << s.ops_completed;
+    // Conditional: only fail-stop runs abort executions, so kill-free
+    // golden reports stay byte-identical.
+    if (s.ops_aborted > 0) os << ",\"ops_aborted\":" << s.ops_aborted;
+    os << ",\"mean_op_ns\":" << ns(s.mean_op_elapsed)
        << ",\"post_decision_op_ns\":" << ns(s.post_decision_op_elapsed)
        << ",\"zero_compute\":" << (s.zero_compute ? "true" : "false") << ",";
     put_blame(os, "blame_ns", s.blame);
@@ -165,6 +168,17 @@ void write_json(std::ostream& os, const Report& report) {
          << ",\"fallbacks\":" << s.faults.fallbacks
          << ",\"stragglers\":" << s.faults.stragglers << "}";
     }
+    if (s.recovery.any()) {
+      const RecoverySummary& rec = s.recovery;
+      os << ",\"recovery\":{\"deaths\":" << rec.deaths
+         << ",\"epochs\":" << rec.epochs
+         << ",\"rebuilds\":" << rec.rebuilds
+         << ",\"aborted_ops\":" << rec.aborted_ops
+         << ",\"detection_ns\":" << ns(rec.detection)
+         << ",\"agreement_ns\":" << ns(rec.agreement)
+         << ",\"rebuild_ns\":" << ns(rec.rebuild)
+         << ",\"time_to_recover_ns\":" << ns(rec.time_to_recover) << "}";
+    }
     if (s.fibers_created > 0 || s.peak_arena_bytes > 0) {
       os << ",\"exec\":{\"fibers_created\":" << s.fibers_created
          << ",\"peak_arena_bytes\":" << s.peak_arena_bytes << "}";
@@ -232,7 +246,9 @@ void write_table(std::ostream& os, const Report& report) {
   for (const ScenarioReport& s : report.scenarios) {
     os << "\n-- " << s.label << " --\n";
     os << "  ops " << s.ops_completed << "/" << s.ops_started
-       << " completed, mean op " << us(s.mean_op_elapsed) << " us";
+       << " completed";
+    if (s.ops_aborted > 0) os << " (" << s.ops_aborted << " aborted)";
+    os << ", mean op " << us(s.mean_op_elapsed) << " us";
     if (s.adcl.present) {
       os << ", post-decision " << us(s.post_decision_op_elapsed) << " us";
     }
@@ -315,6 +331,15 @@ void write_table(std::ostream& os, const Report& report) {
          << f.retransmits << ", send-failures " << f.send_failures
          << ", fallbacks " << f.fallbacks << ", stragglers " << f.stragglers
          << "\n";
+    }
+    if (s.recovery.any()) {
+      const RecoverySummary& rec = s.recovery;
+      os << "  recovery: " << rec.deaths << " death(s), " << rec.epochs
+         << " shrink epoch(s), " << rec.rebuilds << " handle rebuild(s), "
+         << rec.aborted_ops << " aborted op(s)\n";
+      os << "    detection " << us(rec.detection) << " us, agreement "
+         << us(rec.agreement) << " us, rebuild " << us(rec.rebuild)
+         << " us, time-to-recover " << us(rec.time_to_recover) << " us\n";
     }
     if (s.fibers_created > 0 || s.peak_arena_bytes > 0) {
       os << "  exec: fibers " << s.fibers_created << ", peak arena "

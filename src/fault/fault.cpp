@@ -1,5 +1,6 @@
 #include "fault/fault.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <utility>
@@ -75,13 +76,47 @@ std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
 
 bool FaultPlan::enabled() const {
   return lossy() || has_degrade || !stalls.empty() || !stragglers.empty() ||
-         !starves.empty() || drift_window > 0;
+         !starves.empty() || drift_window > 0 || has_kills();
 }
+
+namespace {
+
+// kill=rank@t[,rank@t...] — spelled without a colon, so it is dispatched
+// before the generic kv path (entries after the first contain no '=').
+void parse_kills(FaultPlan& p, const std::string& body) {
+  const auto entries = split(body, ',');
+  if (entries.empty()) {
+    throw std::invalid_argument("fault plan: empty kill list");
+  }
+  for (const std::string& entry : entries) {
+    const std::size_t at = entry.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= entry.size()) {
+      throw std::invalid_argument(
+          "fault plan: kill entry must be rank@t, got '" + entry + "'");
+    }
+    Kill k;
+    k.rank = to_int("kill", entry.substr(0, at));
+    k.t = to_num("kill", entry.substr(at + 1));
+    if (k.rank < 0) {
+      throw std::invalid_argument("fault plan: kill rank must be >= 0");
+    }
+    if (k.t < 0.0) {
+      throw std::invalid_argument("fault plan: kill time must be >= 0");
+    }
+    p.kills.push_back(k);
+  }
+}
+
+}  // namespace
 
 FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlan p;
   bool op_timeout_set = false;
   for (const std::string& comp : split(spec, ';')) {
+    if (comp.rfind("kill=", 0) == 0) {
+      parse_kills(p, comp.substr(5));
+      continue;
+    }
     const std::size_t colon = comp.find(':');
     const std::size_t eq = comp.find('=');
     if (colon != std::string::npos &&
@@ -175,6 +210,11 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
           op_timeout_set = true;
         } else if (kv.key == "max_attempts") {
           p.max_attempts = to_int("max_attempts", kv.val);
+        } else if (kv.key == "lease") {
+          p.lease = to_num("lease", kv.val);
+          if (p.lease <= 0.0) {
+            throw std::invalid_argument("fault plan: lease must be > 0");
+          }
         } else {
           unknown_key("plan", kv.key);
         }
@@ -185,6 +225,68 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   // never wedge a collective; quiet plans leave recovery off.
   if (p.lossy() && !op_timeout_set) p.op_timeout = 1.0;
   return p;
+}
+
+namespace {
+
+std::string num(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return buf;
+}
+
+void put_window(std::string& out, const Window& w) {
+  out += ",t0=" + num(w.t0) + ",t1=" + num(w.t1);
+}
+
+}  // namespace
+
+std::string FaultPlan::print() const {
+  std::string out = "seed=" + std::to_string(seed);
+  if (drop_p > 0.0) {
+    out += ";drop:p=" + num(drop_p);
+    put_window(out, drop_win);
+    out += ",max=" + std::to_string(drop_max);
+  }
+  if (dup_p > 0.0) {
+    out += ";dup:p=" + num(dup_p);
+    put_window(out, dup_win);
+    out += ",max=" + std::to_string(dup_max);
+  }
+  if (has_degrade) {
+    out += ";degrade:lat=" + num(degrade_lat) + ",bw=" + num(degrade_bw);
+    put_window(out, degrade_win);
+  }
+  for (const NicStall& s : stalls) {
+    out += ";stall:node=" + std::to_string(s.node) + ",t0=" + num(s.t0) +
+           ",dur=" + num(s.dur);
+  }
+  for (const Straggler& s : stragglers) {
+    out += ";straggler:rank=" + std::to_string(s.rank) +
+           ",factor=" + num(s.factor);
+    put_window(out, s.win);
+  }
+  for (const Starve& s : starves) {
+    out += ";starve:rank=" + std::to_string(s.rank) + ",cost=" + num(s.cost);
+    put_window(out, s.win);
+  }
+  if (drift_window > 0) {
+    out += ";drift:window=" + std::to_string(drift_window) +
+           ",tol=" + num(drift_tolerance);
+  }
+  if (!kills.empty()) {
+    out += ";kill=";
+    for (std::size_t i = 0; i < kills.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(kills[i].rank) + "@" + num(kills[i].t);
+    }
+  }
+  out += ";rto=" + num(rto);
+  out += ";retries=" + std::to_string(retries);
+  out += ";op_timeout=" + num(op_timeout);
+  out += ";max_attempts=" + std::to_string(max_attempts);
+  out += ";lease=" + num(lease);
+  return out;
 }
 
 Injector::Injector(const FaultPlan& plan, std::uint64_t scenario_seed)
@@ -249,31 +351,54 @@ const std::vector<CannedPlan>& canned_plans() {
   // Tuned against the fig3-style np32 scenarios: each plan demonstrably
   // exercises its recovery path (asserted via trace counters in test_fault).
   static const std::vector<CannedPlan> plans = {
-      {"none", ""},
+      {"none", "", "all-quiet baseline (no injection, no recovery armed)"},
       // Random drops with generous retries: every drop is healed by
       // retransmission, no op ever fails over.  The op timeout is far
       // above the slowest op of the grid (whale-tcp, ~4 s), so recovery
       // never fires on mere slowness.
-      {"drops", "seed=7;drop:p=0.25,max=40;rto=1e-3;retries=12;op_timeout=30"},
+      {"drops", "seed=7;drop:p=0.25,max=40;rto=1e-3;retries=12;op_timeout=30",
+       "random message loss healed entirely by ack/retransmit"},
       // Total loss during the first 20 ms with no retries: every message
       // shipped in the window dies, its RTO declares the send failed, and
       // the NBC handle cancels and restarts on the fallback algorithm.
       // rto/op_timeout sit above the slowest fault-free op so congested
       // acks never fail spuriously and the fallback attempt can finish.
-      {"blackout", "seed=11;drop:p=1,t1=0.02;rto=5;retries=0;op_timeout=10"},
+      {"blackout", "seed=11;drop:p=1,t1=0.02;rto=5;retries=0;op_timeout=10",
+       "total early loss forcing NBC fallback restarts"},
       // Mid-run link degradation: post-decision samples blow past the
       // recorded baseline and ADCL re-opens tuning.
       {"degrade", "seed=13;degrade:t0=0.05,t1=1e9,lat=8,bw=8;"
-                  "drift:window=3,tol=0.5"},
+                  "drift:window=3,tol=0.5",
+       "mid-run link degradation triggering ADCL drift re-tuning"},
       // One slow rank: compute dilation plus progress starvation.
       {"straggler", "seed=17;straggler:rank=2,factor=4;"
-                    "starve:rank=2,cost=2e-4"},
+                    "starve:rank=2,cost=2e-4",
+       "one rank slowed by compute dilation + progress starvation"},
       // Everything at once (drops healed by retransmit + degradation with
       // drift re-tuning + a straggler + a NIC stall burst).
       {"mixed", "seed=23;drop:p=0.1,max=30;rto=1e-3;retries=16;op_timeout=60;"
                 "degrade:t0=0.08,t1=1e9,lat=6,bw=6;"
                 "straggler:rank=1,factor=3;stall:node=0,t0=0.01,dur=0.005;"
-                "drift:window=3,tol=0.5"},
+                "drift:window=3,tol=0.5",
+       "drops + degradation + straggler + NIC stall, all recoveries at once"},
+      // --- Fail-stop kill plans (ULFM-style shrink-and-retune path). ---
+      // Kill times land inside the fig-3 microbench loop; detection fires
+      // one lease period later, all survivors agree on the failed set,
+      // shrink, rebuild their handles and re-open tuning.
+      {"kill1", "seed=31;kill=5@0.004;lease=2e-3",
+       "single non-leader death mid-sweep: detect, shrink, retune"},
+      {"killleader", "seed=37;kill=0@0.004;lease=2e-3",
+       "rank-0 (node-leader) death: leader re-election after shrink"},
+      // Two deaths spaced further apart than the lease, so the second
+      // death interrupts the already-shrunk communicator (two epochs).
+      {"cascade", "seed=41;kill=3@0.003,1@0.012;lease=2e-3",
+       "cascading deaths across two recovery epochs"},
+      // Kill layered on message loss: the lease is far shorter than the
+      // retry budget, so shrink wins before retransmits exhaust and no
+      // retransmit may resurrect traffic addressed to the dead rank.
+      {"killdrops", "seed=43;drop:p=0.15,max=30;rto=1e-3;retries=12;"
+                    "op_timeout=30;kill=2@0.004;lease=2e-3",
+       "death under random drops: shrink preempts the retransmit path"},
   };
   return plans;
 }

@@ -13,7 +13,13 @@
 //   kv         := key '=' value
 //
 // Components: drop, dup, degrade, stall, straggler, starve, drift.
-// Scalars: seed, rto, retries, op_timeout, max_attempts.
+// Scalars: seed, rto, retries, op_timeout, max_attempts, lease.
+//
+// Fail-stop kills use a dedicated component spelled without a colon:
+//   kill=rank@t[,rank@t...]
+// Each entry silences the rank's NIC permanently and stops its progress
+// engine at simulated time t (see EXPERIMENTS.md "Surviving rank
+// failures").  `lease` bounds the failure-detection latency.
 
 #include <cstdint>
 #include <string>
@@ -47,6 +53,11 @@ struct Starve {
   Window win;
 };
 
+struct Kill {
+  int rank = -1;
+  double t = 0.0;  // fail-stop instant (simulated seconds)
+};
+
 struct FaultPlan {
   std::uint64_t seed = 1;
 
@@ -68,6 +79,9 @@ struct FaultPlan {
   std::vector<Straggler> stragglers;
   std::vector<Starve> starves;
 
+  // Fail-stop process deaths (kill=rank@t,...).
+  std::vector<Kill> kills;
+
   // Resilience knobs consumed by mpi/nbc/adcl when the plan is attached.
   double rto = 2e-3;          // initial retransmit timeout (doubles per retry)
   int retries = 8;            // retransmits before a send is declared failed
@@ -76,13 +90,22 @@ struct FaultPlan {
   int max_attempts = 10;      // fallback restarts before the op gives up
   int drift_window = 0;       // ADCL post-decision sample window (0 = off)
   double drift_tolerance = 0.5;
+  double lease = 5e-3;        // liveness lease: a death at t becomes
+                              // detectable at t + lease on every survivor
 
   bool lossy() const { return drop_p > 0.0 || dup_p > 0.0; }
+  bool has_kills() const { return !kills.empty(); }
   bool enabled() const;
 
   // Throws std::invalid_argument on malformed specs. An empty spec is the
   // all-quiet plan (enabled() == false).
   static FaultPlan parse(const std::string& spec);
+
+  // Canonical serialization: fixed component order, %.17g numerics, every
+  // resilience scalar spelled out.  parse(print()) reproduces the plan
+  // exactly, and print() is a fixed point: parse→print→parse→print yields
+  // byte-identical strings (the fuzz test's round-trip contract).
+  std::string print() const;
 };
 
 class Injector {
@@ -116,10 +139,12 @@ class Injector {
   int dups_ = 0;
 };
 
-// Named plans used by bench_fault_sweep, tests, and CI.
+// Named plans used by bench_fault_sweep, bench_failure_sweep, tests, and
+// CI.  `desc` is the one-liner printed by bench drivers' --list-plans.
 struct CannedPlan {
   std::string name;
   std::string spec;
+  std::string desc;
 };
 const std::vector<CannedPlan>& canned_plans();
 

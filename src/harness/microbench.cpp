@@ -161,24 +161,62 @@ RunOutcome run_loop(const MicroScenario& s,
     const double t0 = ctx.now();
     double decision_t = std::numeric_limits<double>::quiet_NaN();
     int post_iters = 0;
-    for (int it = 0; it < s.iterations; ++it) {
-      const bool decided_before = req->selection().decided();
-      timer.start();
-      req->init();
-      const int pc = std::max(1, s.progress_calls);
-      for (int p = 0; p < pc; ++p) {
-        ctx.compute(s.compute_per_iter / pc);
-        if (s.progress_calls > 0) req->progress();
+    // The communicator the loop currently runs on; shrunk on recovery.
+    // Its lowest member writes the outcome (rank 0 unless rank 0 died).
+    mpi::Comm cur = ctx.world().comm_world();
+    // Fail-stop recovery wraps the iteration loop (ULFM-style): a peer
+    // death interrupts the body with RanksFailed; survivors agree on the
+    // failed set, shrink, rebuild the request, re-open tuning, and redo
+    // from the globally agreed iteration.  Ranks that finish the loop
+    // stand at the termination agreement in case a slower survivor's
+    // failure forces redone work.
+    int it = 0;
+    try {
+      for (;;) {
+        if (it >= s.iterations) {
+          if (ctx.world().ft() == nullptr) break;
+          const mpi::FtDecision d = ctx.ft_finish();
+          cur = d.comm;
+          if (d.all_finished) break;
+          req->recover(d.comm, d.resume_iteration);
+          if (pinned >= 0) req->selection().force_winner(pinned);
+          it = d.resume_iteration;
+          continue;
+        }
+        try {
+          const bool decided_before = req->selection().decided();
+          timer.start();
+          req->init();
+          const int pc = std::max(1, s.progress_calls);
+          for (int p = 0; p < pc; ++p) {
+            ctx.compute(s.compute_per_iter / pc);
+            if (s.progress_calls > 0) req->progress();
+          }
+          req->wait();
+          timer.stop();
+          if (decided_before) ++post_iters;
+          ++it;
+        } catch (const mpi::RanksFailed&) {
+          timer.abort();
+          const mpi::FtDecision d = ctx.ft_recover(it);
+          cur = d.comm;
+          req->recover(d.comm, d.resume_iteration);
+          if (pinned >= 0) req->selection().force_winner(pinned);
+          it = d.resume_iteration;
+        }
       }
-      req->wait();
-      timer.stop();
-      if (decided_before) ++post_iters;
+    } catch (const mpi::RankKilled&) {
+      // This rank is the one fail-stopped: its in-flight op can neither
+      // complete nor be redone by it, so abort the handle to keep the
+      // started = completed + aborted ledger exact, then unwind.
+      req->abandon();
+      throw;
     }
     const double t_end = ctx.now();
     if (req->selection().decided()) {
       decision_t = req->selection().decision_time();
     }
-    if (ctx.world_rank() == 0) {
+    if (ctx.world_rank() == cur.world_rank(0)) {
       out.loop_time = t_end - t0;
       out.impl = req->selection().decided() ? req->current_function().name
                                             : "<undecided>";
@@ -203,6 +241,11 @@ RunOutcome run_loop_machine(const MicroScenario& s, int pinned,
   sim::Engine engine(s.seed);
   net::Machine machine(s.platform);
   const fault::FaultPlan plan = fault::FaultPlan::parse(s.fault_plan);
+  if (plan.has_kills()) {
+    throw std::invalid_argument(
+        "machine mode: fail-stop recovery (kill plans) unwinds through "
+        "blocking control flow and needs fibers; run with --exec=fiber");
+  }
   if (plan.op_timeout > 0 || plan.drift_window > 0) {
     throw std::invalid_argument(
         "machine mode: op-timeout recovery and drift re-tuning are blocking "

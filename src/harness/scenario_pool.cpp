@@ -8,6 +8,7 @@
 #include <limits>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "trace/trace.hpp"
@@ -16,6 +17,16 @@ namespace nbctune::harness {
 
 namespace {
 constexpr std::size_t kNoError = std::numeric_limits<std::size_t>::max();
+
+std::string describe_error(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
 }  // namespace
 
 struct ScenarioPool::Impl {
@@ -29,10 +40,12 @@ struct ScenarioPool::Impl {
   };
 
   Impl(int threads, std::atomic<std::uint64_t>* completed,
-       std::atomic<std::uint64_t>* steals)
+       std::atomic<std::uint64_t>* steals,
+       std::atomic<PoolObserver*>* observer)
       : shards(static_cast<std::size_t>(threads)),
         completed_ctr(completed),
-        steals_ctr(steals) {
+        steals_ctr(steals),
+        observer_ptr(observer) {
     workers.reserve(static_cast<std::size_t>(threads));
     for (int w = 0; w < threads; ++w) {
       workers.emplace_back([this, w] { worker_main(w); });
@@ -124,10 +137,15 @@ struct ScenarioPool::Impl {
     try {
       (*fn)(idx);
     } catch (...) {
+      const std::exception_ptr ep = std::current_exception();
+      if (PoolObserver* o =
+              observer_ptr->load(std::memory_order_acquire)) {
+        o->on_task_failed(idx, describe_error(ep).c_str());
+      }
       std::lock_guard<std::mutex> lk(mu);
       if (idx < error_index) {
         error_index = idx;
-        error = std::current_exception();
+        error = ep;
       }
     }
     if (tracing) trace::Session::set_staging(prev_staging);
@@ -184,6 +202,7 @@ struct ScenarioPool::Impl {
   std::vector<std::thread> workers;
   std::atomic<std::uint64_t>* completed_ctr;
   std::atomic<std::uint64_t>* steals_ctr;
+  std::atomic<PoolObserver*>* observer_ptr;
   std::mutex mu;
   std::condition_variable work_cv;
   std::condition_variable done_cv;
@@ -210,7 +229,9 @@ int ScenarioPool::resolve_threads(int requested) noexcept {
 
 ScenarioPool::ScenarioPool(int threads)
     : impl_(nullptr), threads_(resolve_threads(threads)) {
-  if (threads_ > 1) impl_ = new Impl(threads_, &completed_, &steals_);
+  if (threads_ > 1) {
+    impl_ = new Impl(threads_, &completed_, &steals_, &observer_);
+  }
 }
 
 ScenarioPool::~ScenarioPool() { delete impl_; }
@@ -245,7 +266,11 @@ void ScenarioPool::run_indexed(std::size_t n,
       try {
         fn(i);
       } catch (...) {
-        if (error == nullptr) error = std::current_exception();
+        const std::exception_ptr ep = std::current_exception();
+        if (PoolObserver* o = observer_.load(std::memory_order_acquire)) {
+          o->on_task_failed(i, describe_error(ep).c_str());
+        }
+        if (error == nullptr) error = ep;
       }
       completed_.fetch_add(1, std::memory_order_relaxed);
     }

@@ -49,6 +49,15 @@ class PoolObserver {
  public:
   virtual ~PoolObserver() = default;
   virtual void on_batch_begin(std::size_t tasks) = 0;
+  /// A task body threw (crash containment): the batch keeps draining and
+  /// the pool rethrows the lowest-index error only after it has.  Fires
+  /// on the worker that ran the task — implementations must be
+  /// thread-safe.  `what` is the exception message ("unknown error" for
+  /// non-std exceptions).
+  virtual void on_task_failed(std::size_t index, const char* what) {
+    (void)index;
+    (void)what;
+  }
 };
 
 class ScenarioPool {

@@ -16,7 +16,9 @@ namespace {
 // Internal tag space, far above anything user code passes; doubles as
 // the reliable-channel marker (see kReliableTagBase in world.hpp).
 constexpr int kInternalTagBase = kReliableTagBase;
-constexpr int kEpochSpan = 8;
+// Sub-tags per epoch (slots 0..3 below); shared with the fail-stop
+// recovery tag-floor computation in Ctx::ft_cleanup.
+constexpr int kEpochSpan = kCollEpochSpan;
 
 void fold(double* acc, const double* in, std::size_t n, ReduceOp op) {
   switch (op) {

@@ -1,0 +1,139 @@
+#pragma once
+
+// ULFM-style fail-stop recovery (`nbctune::mpi`).
+//
+// A FaultPlan's kill list turns ranks off at fixed simulated times: the
+// Injector silences the rank's NIC permanently (World::ship drops its
+// envelopes, retransmit timers go dead) and its fiber unwinds via
+// RankKilled at the next library call.  Survivors recover through three
+// phases, all riding the never-injected reliable control plane:
+//
+//   1. detection — a deterministic liveness-lease model: a death at time
+//      t becomes *detectable* on every survivor at t + lease (the lease
+//      period bounds detection latency exactly, like a heartbeat detector
+//      whose period is the lease).  Every blocking Ctx call is an
+//      interruption point: once a detectable failure is unacknowledged,
+//      the call throws RanksFailed (ULFM's error-at-wait semantics).
+//   2. agreement — survivors funnel into the World-level RecoveryService
+//      (the moral equivalent of MPIX_COMM_AGREE; the service is
+//      centralized because one simulation is single-threaded, and its
+//      decision latency is modeled as a binomial broadcast over the
+//      survivors).  A round completes when every rank either arrived
+//      (interrupted mid-loop, or standing at the end of its loop) or is
+//      detectably dead.  The decision fixes the globally consistent
+//      failed set, the iteration survivors roll back to (min over the
+//      interrupted arrivals — ranks ahead of the failure redo work so the
+//      tuner's per-rank sample counts realign), and whether every
+//      survivor had already finished.
+//   3. shrink + rebuild — World::shrink densely re-ranks survivors into
+//      a fresh communicator (new context id = fresh tag space).  NBC
+//      handles abort and rebuild their schedules against it (node
+//      leaders re-elected from the survivor membership), and ADCL
+//      re-opens tuning (a shrink is a group-size change; stale winners
+//      are not replayed).
+//
+// Determinism: kills, leases, agreement completion and delivery are all
+// engine events at plan-derived times; no wall clock, no extra RNG
+// draws.  Traces and reports stay byte-identical at any --threads.
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "mpi/comm.hpp"
+
+namespace nbctune::mpi {
+
+class World;
+
+/// Thrown inside a killed rank's fiber to unwind it (caught by the
+/// World::launch wrapper — it must never escape to the engine).
+/// Deliberately not derived from std::exception: scenario-level error
+/// containment must not mistake a modeled death for a harness bug.
+struct RankKilled {};
+
+/// Thrown from blocking Ctx calls on survivors once a failure is
+/// detectable and unacknowledged (ULFM MPI_ERR_PROC_FAILED analogue).
+/// The harness catches it and funnels into Ctx::ft_recover.
+class RanksFailed : public std::runtime_error {
+ public:
+  RanksFailed() : std::runtime_error("mpi: peer rank failure detected") {}
+};
+
+/// Globally consistent outcome of one agreement round.
+struct FtDecision {
+  int epoch = 0;               ///< recovery round, 1-based
+  std::vector<int> failed;     ///< detectably dead world ranks (cumulative)
+  bool all_finished = false;   ///< every survivor had completed its loop
+  int resume_iteration = 0;    ///< iteration survivors roll back to
+  Comm comm;                   ///< shrunk survivor communicator
+};
+
+/// Per-World failure detector + agreement service.  Created by
+/// World::launch when the attached plan has kills; all methods run
+/// either on a rank fiber (arrive) or in scheduler context (events).
+class RecoveryService {
+ public:
+  static constexpr int kFinishedIteration = std::numeric_limits<int>::max();
+
+  RecoveryService(World& world, const fault::FaultPlan& plan);
+
+  /// Schedule the plan's kill events (call once, before engine.run()).
+  /// Kills naming ranks outside the world are ignored.
+  void start();
+
+  /// Detectable-failure count (survivors compare against their
+  /// acknowledged count to decide whether to throw RanksFailed).
+  [[nodiscard]] int detectable() const noexcept { return detectable_; }
+
+  /// Epochs decided so far.
+  [[nodiscard]] int epoch() const noexcept { return epoch_; }
+
+  /// The most recent decision (valid once epoch() > 0).
+  [[nodiscard]] const FtDecision& decision() const noexcept {
+    return decision_;
+  }
+
+  /// Detectable count snapshotted when the current decision was computed
+  /// (survivors acknowledge up to here in their post-decision cleanup).
+  [[nodiscard]] int decision_detectable() const noexcept {
+    return decision_detectable_;
+  }
+
+  /// Rank `wrank` arrives at the agreement: interrupted at `iteration`
+  /// (finished == false) or standing at the end of its loop
+  /// (iteration == kFinishedIteration, finished == true).  Returns the
+  /// epoch the caller must block for (epoch() >= returned value).
+  int arrive(int wrank, int iteration, bool finished);
+
+ private:
+  void on_kill(int wrank);    // scheduled at each Kill::t
+  void on_detect(int wrank);  // scheduled at Kill::t + lease
+  void maybe_complete();      // agreement completion check
+  void deliver();             // decision delivery (modeled bcast latency)
+
+  struct Arrival {
+    bool arrived = false;
+    bool finished = false;
+    int iteration = 0;
+  };
+
+  World& world_;
+  double lease_;
+  std::vector<fault::Kill> kills_;
+  std::vector<char> detectable_dead_;  // per world rank
+  std::vector<Arrival> arrivals_;      // per world rank; reset per round
+  int detectable_ = 0;
+  int epoch_ = 0;
+  bool decision_pending_ = false;
+  FtDecision decision_;       // last delivered
+  FtDecision pending_;        // computed, awaiting modeled delivery
+  int decision_detectable_ = 0;
+  int pending_detectable_ = 0;
+  /// Failed-set size at the last delivered decision: the failed set is
+  /// cumulative, so membership shrank only when it grew past this.
+  std::size_t delivered_failed_ = 0;
+};
+
+}  // namespace nbctune::mpi

@@ -148,6 +148,16 @@ class RequestPool {
     return size_ - free_.size();
   }
 
+  /// Visit every live request's handle in ascending slot order.  The
+  /// callback must not allocate or release from the pool while iterating.
+  template <typename F>
+  void for_each_live(F&& f) const {
+    for (std::uint32_t i = 0; i < size_; ++i) {
+      const Request& r = slot(i);
+      if ((r.generation & 1u) != 0) f(Req{i, r.generation});
+    }
+  }
+
   /// Bytes held by allocated request slots (arena accounting).
   [[nodiscard]] std::size_t capacity_bytes() const noexcept {
     if (chunks_.empty()) return 0;

@@ -93,6 +93,11 @@ int World::core_of(int wrank) const {
 }
 
 void World::launch(std::function<void(Ctx&)> program) {
+  if (options_.fault_plan != nullptr && options_.fault_plan->has_kills() &&
+      ft_ == nullptr) {
+    ft_ = std::make_unique<RecoveryService>(*this, *options_.fault_plan);
+    ft_->start();
+  }
   for (int r = 0; r < options_.nprocs; ++r) {
     ctxs_.push_back(std::make_unique<Ctx>(*this, r));
     Ctx* ctx = ctxs_.back().get();
@@ -100,19 +105,40 @@ void World::launch(std::function<void(Ctx&)> program) {
     rs.ctx = ctx;
     sim::Process& p = engine_.add_process(
         "rank" + std::to_string(r),
-        [ctx, program](sim::Process&) { program(*ctx); },
+        [ctx, program](sim::Process&) {
+          // A killed rank unwinds its whole program via RankKilled: the
+          // fiber simply finishes (the modeled process is gone).
+          try {
+            program(*ctx);
+          } catch (const RankKilled&) {
+          }
+        },
         options_.fiber_stack_bytes);
     rs.process = &p;
   }
 }
 
 void World::launch_machine(MachineDriver& driver) {
+  if (options_.fault_plan != nullptr && options_.fault_plan->has_kills()) {
+    throw std::invalid_argument(
+        "World: kill plans require fiber mode (machine-mode ranks cannot "
+        "unwind through fail-stop recovery)");
+  }
   driver_ = &driver;
   for (int r = 0; r < options_.nprocs; ++r) {
     ctxs_.push_back(std::make_unique<Ctx>(*this, r));
     ranks_[r].ctx = ctxs_.back().get();
     // No Process: the driver advances this rank's state machine in place.
   }
+}
+
+Comm World::shrink(const std::vector<int>& survivors, int epoch) {
+  auto data = std::make_shared<CommData>();
+  // Negative epoch keys keep shrink contexts disjoint from every dup/split
+  // allocation (their per-comm epochs count up from zero).
+  data->context = alloc_context(0, -epoch, -1);
+  data->members = survivors;
+  return Comm(this, std::move(data));
 }
 
 int World::alloc_context(int parent_context, int epoch, int color) {
@@ -141,8 +167,19 @@ std::uint64_t World::total_ctrl_msgs() const noexcept {
   return n;
 }
 
+std::size_t World::dedup_entries(int src) const noexcept {
+  std::size_t n = 0;
+  for (const auto& r : ranks_) {
+    for (const auto& key : r.seen_msgs) {
+      if (std::get<1>(key) == src) ++n;
+    }
+  }
+  return n;
+}
+
 void World::notify(int wrank) {
   RankState& rs = ranks_[wrank];
+  if (rs.dead) return;  // fail-stopped: nothing left to wake
   if (rs.process != nullptr) {
     rs.process->wake();
   } else {
@@ -151,6 +188,9 @@ void World::notify(int wrank) {
 }
 
 sim::Time World::ship(Envelope env, sim::Time earliest) {
+  // A fail-stopped sender's NIC is silenced: in-flight transport
+  // continuations (chunk pushes, acks, retransmits) die here.
+  if (ft_ != nullptr && ranks_[env.src].dead) return earliest;
   RankState& src = ranks_[env.src];
   const int src_node = src.node;
   const int dst_node = ranks_[env.dst].node;
@@ -324,6 +364,8 @@ sim::Time World::ship(Envelope env, sim::Time earliest) {
 void World::deliver(Envelope env) {
   const int dst_rank = env.dst;
   RankState& dst = ranks_[dst_rank];
+  // Arrivals at a fail-stopped rank vanish (no ack, no dedup tracking).
+  if (ft_ != nullptr && dst.dead) return;
   if (lossy_) {
     if (env.kind == Envelope::Kind::Ack) {
       handle_ack(env);
@@ -472,10 +514,27 @@ void World::arm_retransmit(int wrank, Req h) {
 
 void World::on_rto(int wrank, Req h) {
   RankState& rs = ranks_[wrank];
+  if (rs.dead) return;  // fail-stopped: its timers die with it
   if (!rs.pool.live(h)) return;
   Request& r = rs.pool.get(h);
   r.timer_id = 0;
   if (r.acked || r.complete || r.rexmit == RexmitKind::None) return;
+  // Never retransmit to a fail-stopped peer: a dead destination must not
+  // be resurrected by the reliability layer.  Fail the request now; the
+  // recovery path (not the send-failure path) will clean it up.
+  if (ft_ != nullptr && ranks_[r.peer].dead) {
+    r.failed = true;
+    r.rexmit = RexmitKind::None;
+    trace::count(trace::Ctr::MsgsSendFailures);
+    if (trace::active()) {
+      trace::instant(engine_.now(), wrank, trace::Cat::Msg,
+                     "msg.send_failure", "peer",
+                     static_cast<std::uint64_t>(r.peer), "tag",
+                     static_cast<std::uint64_t>(r.tag), pack_match(h));
+    }
+    notify(wrank);
+    return;
+  }
   if (r.retries_left <= 0) {
     r.failed = true;
     r.rexmit = RexmitKind::None;
@@ -622,6 +681,7 @@ void Ctx::compute(double seconds) {
   if (seconds == 0.0) return;
   sim::Process* p = st().process;
   if (p == nullptr) throw_machine_block(wrank_);
+  if (world_.ft_ != nullptr) check_ft();
   const double t = compute_cost(seconds);
   const sim::Time t0 = now();
   p->sleep(t);
@@ -1124,6 +1184,7 @@ void Ctx::progress_pass(bool explicit_call) {
 
 Req Ctx::isend(const Comm& comm, const void* buf, std::size_t bytes, int dst,
                int tag) {
+  if (world_.ft_ != nullptr) check_ft();
   progress_pass(false);
   double cost = 0.0;
   Req h = post_isend(comm, buf, bytes, dst, tag, cost, 0.0);
@@ -1133,6 +1194,7 @@ Req Ctx::isend(const Comm& comm, const void* buf, std::size_t bytes, int dst,
 
 Req Ctx::irecv(const Comm& comm, void* buf, std::size_t bytes, int src,
                int tag) {
+  if (world_.ft_ != nullptr) check_ft();
   progress_pass(false);
   double cost = 0.0;
   Req h = post_irecv(comm, buf, bytes, src, tag, cost);
@@ -1161,10 +1223,20 @@ void Ctx::observe(Req& h, Status* status) {
 template <typename Pred>
 void Ctx::block_until(Pred&& pred) {
   if (st().process == nullptr) throw_machine_block(wrank_);
+  check_ft();
   progress_pass(false);
   while (!pred()) {
     st().process->suspend();
+    check_ft();
     progress_pass(false);
+  }
+}
+
+void Ctx::check_ft() {
+  if (st().dead) throw RankKilled{};
+  RecoveryService* ft = world_.ft_.get();
+  if (ft != nullptr && !in_recovery_ && ft->detectable() > ft_acked_) {
+    throw RanksFailed();
   }
 }
 
@@ -1181,6 +1253,7 @@ namespace {
 
 bool Ctx::test(Req& h, Status* status) {
   if (h.null()) return true;
+  if (world_.ft_ != nullptr) check_ft();
   progress_pass(false);
   Request& r = st().pool.get(h);
   if (r.failed) {
@@ -1270,6 +1343,89 @@ void Ctx::cancel_request(Req& h) {
   --rs.outstanding;
   rs.pool.release(h);
   h = Req{};
+}
+
+// ---- fail-stop recovery ----
+
+FtDecision Ctx::ft_recover(int iteration) { return ft_wait(iteration, false); }
+
+FtDecision Ctx::ft_finish() {
+  return ft_wait(RecoveryService::kFinishedIteration, true);
+}
+
+FtDecision Ctx::ft_wait(int iteration, bool finished) {
+  RecoveryService* ft = world_.ft_.get();
+  if (ft == nullptr) {
+    throw std::logic_error("mpi: ft_recover/ft_finish without a kill plan");
+  }
+  // A dead rank unwinds here instead of arriving (only the self-death
+  // check: the caller arrives precisely BECAUSE a failure is detectable,
+  // so the peer-failure check must not re-throw).
+  if (st().dead) throw RankKilled{};
+  const int target = ft->arrive(wrank_, iteration, finished);
+  // The wait itself must block through further detections: the agreement
+  // round folds them in (completion waits for every dead rank to become
+  // detectable), so suppress RanksFailed until the decision lands.
+  in_recovery_ = true;
+  try {
+    block_until([&] { return ft->epoch() >= target; });
+  } catch (...) {
+    in_recovery_ = false;  // RankKilled mid-wait: unwind as usual
+    throw;
+  }
+  in_recovery_ = false;
+  FtDecision d = ft->decision();
+  ft_cleanup(d);
+  return d;
+}
+
+void Ctx::ft_cleanup(const FtDecision& d) {
+  RankState& rs = st();
+  // Cancel leaked control-plane requests: a bootstrap collective
+  // interrupted mid-round leaves posted receives and un-observed sends
+  // behind, and the new epoch never matches their tags again.  Data-plane
+  // requests stay — the NBC layer aborts its own handles.
+  std::vector<Req> leaked;
+  rs.pool.for_each_live([&](Req h) {
+    if (rs.pool.get(h).tag >= kReliableTagBase) leaked.push_back(h);
+  });
+  for (Req h : leaked) cancel_request(h);
+
+  // Purge stale receive-side state: anything from a dead peer, plus
+  // control-plane traffic from before the shrink.  New-epoch control
+  // messages from faster survivors carry tags at or above the resynced
+  // floor and must survive this purge.
+  const int floor_tag =
+      kReliableTagBase + ((d.epoch << 16) % (1 << 20)) * kCollEpochSpan;
+  const auto stale = [&](const Envelope& e) {
+    if (world_.ranks_[static_cast<std::size_t>(e.src)].dead) return true;
+    return e.tag >= kReliableTagBase && e.tag < floor_tag;
+  };
+  for (auto it = rs.unexpected.begin(); it != rs.unexpected.end();) {
+    auto& dq = it->second;
+    for (auto qi = dq.begin(); qi != dq.end();) {
+      qi = stale(*qi) ? dq.erase(qi) : std::next(qi);
+    }
+    it = dq.empty() ? rs.unexpected.erase(it) : std::next(it);
+  }
+  auto& inb = rs.inbound;
+  inb.erase(std::remove_if(inb.begin(), inb.end(), stale), inb.end());
+  // Dedup entries keyed by a dead sender can never match again: reclaim.
+  for (auto it = rs.seen_msgs.begin(); it != rs.seen_msgs.end();) {
+    const bool dead =
+        world_.ranks_[static_cast<std::size_t>(std::get<1>(*it))].dead;
+    it = dead ? rs.seen_msgs.erase(it) : std::next(it);
+  }
+
+  // Resync the collective/tag counters: every survivor enters the new
+  // epoch with identical counters no matter where it was interrupted.
+  epoch_counter_ = d.epoch << 16;
+  nbc_tag_counter_ = d.epoch << 12;
+  op_corr_counter_ = static_cast<std::uint64_t>(d.epoch) << 32;
+
+  // Acknowledge every failure folded into this decision; later deaths
+  // re-raise RanksFailed at the next interruption point.
+  ft_acked_ = world_.ft_->decision_detectable();
 }
 
 std::uint64_t Ctx::schedule_wake(double dt) {

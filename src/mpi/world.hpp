@@ -26,6 +26,7 @@
 
 #include "fault/fault.hpp"
 #include "mpi/comm.hpp"
+#include "mpi/ft.hpp"
 #include "mpi/request.hpp"
 #include "mpi/types.hpp"
 #include "net/machine.hpp"
@@ -54,6 +55,11 @@ class ProgressClient {
 /// run while the data plane is failing, exactly like the out-of-band
 /// channels of real fault-tolerant runtimes.
 inline constexpr int kReliableTagBase = 1 << 24;
+
+/// Sub-tags per bootstrap-collective epoch (collectives.cpp uses slots
+/// 0..3 of each epoch; shared here so fail-stop recovery can compute the
+/// post-shrink tag floor when discarding stale control-plane traffic).
+inline constexpr int kCollEpochSpan = 8;
 
 /// World construction options.
 struct WorldOptions {
@@ -126,6 +132,9 @@ struct RankState {
   std::uint64_t next_post_seq = 0;
   std::uint64_t next_arrival_seq = 0;
   std::uint64_t ctrl_msgs = 0, data_msgs = 0;
+  /// Fail-stop kill executed: the NIC is silenced (ship/deliver discard),
+  /// the progress engine is stopped, and the fiber unwinds via RankKilled.
+  bool dead = false;
   /// Per-rank noise stream (seeded per scenario): jitter draws are
   /// independent of global event interleaving, so rel_sigma > 0 runs stay
   /// byte-identical across --threads counts.
@@ -214,12 +223,33 @@ class World {
   /// deduplicated, and retransmitted on RTO expiry.
   [[nodiscard]] bool lossy() const noexcept { return lossy_; }
 
+  /// The fail-stop recovery service, or nullptr when the attached plan
+  /// has no kills (created by launch(); machine mode rejects kill plans).
+  [[nodiscard]] RecoveryService* ft() noexcept { return ft_.get(); }
+
+  /// Dense re-ranking of `survivors` into a fresh communicator (new
+  /// context id = fresh tag space).  Called once per agreement round by
+  /// the RecoveryService; the decision shares the result with every
+  /// survivor, so membership is globally consistent by construction.
+  Comm shrink(const std::vector<int>& survivors, int epoch);
+
+  /// True once `wrank` was fail-stopped by a kill plan.
+  [[nodiscard]] bool rank_dead(int wrank) const {
+    return ranks_.at(static_cast<std::size_t>(wrank)).dead;
+  }
+
   /// Total messages put on the wire (diagnostics).
   [[nodiscard]] std::uint64_t total_data_msgs() const noexcept;
   [[nodiscard]] std::uint64_t total_ctrl_msgs() const noexcept;
 
+  /// Duplicate-suppression entries naming `src` across every rank's
+  /// seen_msgs table (diagnostics; recovery reclaims a dead rank's
+  /// entries, so this must drop to zero for failed ranks post-shrink).
+  [[nodiscard]] std::size_t dedup_entries(int src) const noexcept;
+
  private:
   friend class Ctx;
+  friend class RecoveryService;
 
   detail::RankState& rank_state(int wrank) { return ranks_.at(wrank); }
 
@@ -270,6 +300,7 @@ class World {
   std::uint64_t next_msg_seq_ = 0;
   std::unique_ptr<fault::Injector> injector_;
   bool lossy_ = false;
+  std::unique_ptr<RecoveryService> ft_;
 };
 
 /// Per-rank API surface.  A Ctx is only valid inside its own fiber.
@@ -398,6 +429,19 @@ class Ctx {
   std::uint64_t schedule_wake(double dt);
   void cancel_event(std::uint64_t id);
 
+  // ---- fail-stop recovery (kill plans; see mpi/ft.hpp) ----
+  /// Enter the agreement after catching RanksFailed at loop iteration
+  /// `iteration`; blocks until the round's decision is delivered, then
+  /// runs the per-rank cleanup (leaked control-plane requests cancelled,
+  /// dead-peer receive state reclaimed, collective counters resynced)
+  /// and returns the decision.
+  FtDecision ft_recover(int iteration);
+  /// Enter the agreement as a standing arrival after completing the loop
+  /// (termination protocol): blocks like ft_recover.  If the returned
+  /// decision's all_finished is false, the caller must rejoin its loop at
+  /// resume_iteration — another survivor still needs the redone work.
+  FtDecision ft_finish();
+
  private:
   friend class World;
 
@@ -406,6 +450,13 @@ class Ctx {
   /// Blocking-loop helper: progress until pred() is true.
   template <typename Pred>
   void block_until(Pred&& pred);
+
+  /// Fail-stop interruption point: throws RankKilled when this rank is
+  /// dead, RanksFailed when a peer failure is detectable and not yet
+  /// acknowledged (suppressed inside the recovery wait itself).
+  void check_ft();
+  FtDecision ft_wait(int iteration, bool finished);
+  void ft_cleanup(const FtDecision& d);
 
   bool try_match_unexpected(Req rh, double& cpu_cost);
   void handle_envelope(detail::Envelope& env, double& cpu_cost);
@@ -419,6 +470,8 @@ class Ctx {
   int nbc_tag_counter_ = 0;
   std::uint64_t op_corr_counter_ = 0;
   std::map<int, int> split_epochs_;  // per-context dup/split call counts
+  int ft_acked_ = 0;         // detectable failures acknowledged so far
+  bool in_recovery_ = false; // the recovery wait must itself block
 };
 
 }  // namespace nbctune::mpi

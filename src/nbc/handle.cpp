@@ -44,6 +44,32 @@ void Handle::rebind(const Schedule* schedule) {
   schedule_ = schedule;
 }
 
+void Handle::abort() {
+  if (!active_) return;
+  for (mpi::Req& h : pending_) ctx_.cancel_request(h);
+  pending_.clear();
+  pending_ptrs_.clear();
+  active_ = false;
+  done_ = true;
+  // An aborted execution never emits its nbc.op completion span; the
+  // redo after recovery starts a fresh logical execution.
+  completion_emitted_ = true;
+  trace::count(trace::Ctr::NbcOpsAborted);
+  if (trace::active()) {
+    trace::instant(ctx_.now(), ctx_.world_rank(), trace::Cat::Nbc,
+                   "nbc.abort", "round", round_, "tag",
+                   static_cast<std::uint64_t>(tag_), op_corr_);
+  }
+}
+
+void Handle::rebind_comm(mpi::Comm comm, int tag) {
+  if (active_) {
+    throw std::logic_error("rebind_comm while operation in flight");
+  }
+  comm_ = std::move(comm);
+  tag_ = tag;
+}
+
 void Handle::trace_completion() {
   if (completion_emitted_) return;
   completion_emitted_ = true;

@@ -87,6 +87,17 @@ class Handle : public mpi::ProgressClient {
   /// executions).  Only valid while inactive.
   void rebind(const Schedule* schedule);
 
+  /// Fail-stop recovery: cancel everything in flight and deactivate
+  /// without completing — the execution is abandoned, not finished
+  /// (counted as nbc.ops_aborted; the started/completed invariant becomes
+  /// started == completed + aborted).  No-op while inactive.
+  void abort();
+
+  /// Bind to a (shrunk) communicator with a fresh tag; peers in the
+  /// schedule then refer to the new membership.  Only valid while
+  /// inactive.
+  void rebind_comm(mpi::Comm comm, int tag);
+
   [[nodiscard]] std::size_t rounds_completed() const noexcept {
     return round_;
   }

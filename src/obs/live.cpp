@@ -211,6 +211,22 @@ void LiveSink::on_scope_finish(const trace::FinishedTrace& t) {
     body += ",\"winner\":";
     append_i64(body, s.adcl.winner);
   }
+  if (s.recovery.any()) {
+    const analyze::RecoverySummary& rec = s.recovery;
+    body += ",\"recovery\":{\"deaths\":";
+    append_u64(body, rec.deaths);
+    body += ",\"epochs\":";
+    append_u64(body, rec.epochs);
+    body += ",\"rebuilds\":";
+    append_u64(body, rec.rebuilds);
+    body += ",\"aborted_ops\":";
+    append_u64(body, rec.aborted_ops);
+    body += ",\"detection_ns\":";
+    append_i64(body, ns(rec.detection));
+    body += ",\"time_to_recover_ns\":";
+    append_i64(body, ns(rec.time_to_recover));
+    body += "}";
+  }
   if (s.dropped_events > 0) {
     body += ",\"dropped_events\":";
     append_u64(body, s.dropped_events);
@@ -247,6 +263,15 @@ void LiveSink::on_batch_begin(std::size_t tasks) {
   write_line(std::move(body));
 }
 
+void LiveSink::on_task_failed(std::size_t index, const char* what) {
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  std::string body = "{\"type\":\"scenario\",\"phase\":\"failed\"";
+  body += ",\"index\":";
+  append_u64(body, index);
+  body += ",\"error\":\"" + escape_json(what) + "\"}";
+  write_line(std::move(body));
+}
+
 void LiveSink::sample(const harness::PoolStats& pool) {
   std::string body = "{\"type\":\"sample\",\"pool\":{\"submitted\":";
   append_u64(body, pool.tasks_submitted);
@@ -262,6 +287,8 @@ void LiveSink::sample(const harness::PoolStats& pool) {
   append_u64(body, started_.load(std::memory_order_relaxed));
   body += ",\"finished\":";
   append_u64(body, finished_.load(std::memory_order_relaxed));
+  body += ",\"failed\":";
+  append_u64(body, failed_.load(std::memory_order_relaxed));
   body += "},\"trace\":{\"events\":";
   append_u64(body, events_.load(std::memory_order_relaxed));
   body += ",\"dropped\":";
@@ -300,6 +327,7 @@ LiveSink::Totals LiveSink::totals() const {
   Totals t;
   t.started = started_.load(std::memory_order_relaxed);
   t.finished = finished_.load(std::memory_order_relaxed);
+  t.failed = failed_.load(std::memory_order_relaxed);
   t.submitted = submitted_.load(std::memory_order_relaxed);
   t.events = events_.load(std::memory_order_relaxed);
   t.fibers = fibers_.load(std::memory_order_relaxed);

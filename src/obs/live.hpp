@@ -25,6 +25,7 @@
 //   {"type":"batch","seq":n,"t_ms":..,"tasks":..,"total_submitted":..}
 //   {"type":"scenario","phase":"started","seq":n,"t_ms":..,"label":".."}
 //   {"type":"scenario","phase":"finished","seq":n,...per-op stats...}
+//   {"type":"scenario","phase":"failed","seq":n,"index":..,"error":".."}
 //   {"type":"sample","seq":n,...pool/trace/exec/rss gauges...}
 //   {"type":"summary","seq":n,"status":"ok"|"aborted",...}
 //
@@ -69,6 +70,11 @@ class LiveSink final : public trace::Session::Listener,
   // harness::PoolObserver — batch submissions (progress denominators).
   void on_batch_begin(std::size_t tasks) override;
 
+  // harness::PoolObserver — a scenario body threw (crash containment):
+  // the sweep keeps draining, and the stream records which task failed
+  // and why so a watcher sees the crash before the driver's exit code.
+  void on_task_failed(std::size_t index, const char* what) override;
+
   /// Emit a periodic gauge record (called by obs::Sampler): pool
   /// activity, cumulative trace/exec totals observed by this sink, and
   /// the process RSS.
@@ -86,6 +92,7 @@ class LiveSink final : public trace::Session::Listener,
   struct Totals {
     std::uint64_t started = 0;
     std::uint64_t finished = 0;
+    std::uint64_t failed = 0;      ///< scenario bodies that threw
     std::uint64_t submitted = 0;   ///< sum of batch sizes observed
     std::uint64_t events = 0;      ///< trace events across finished scopes
     std::uint64_t fibers = 0;      ///< sim.fibers_created summed
@@ -125,6 +132,7 @@ class LiveSink final : public trace::Session::Listener,
   std::chrono::steady_clock::time_point t0_;
   std::atomic<std::uint64_t> started_{0};
   std::atomic<std::uint64_t> finished_{0};
+  std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> events_{0};
   std::atomic<std::uint64_t> fibers_{0};

@@ -95,6 +95,13 @@ bool TopState::feed_line(const std::string& line) {
     const std::string phase = str_or(v.get("phase"), "");
     if (phase == "started") {
       ++started_;
+    } else if (phase == "failed") {
+      ++failed_;
+      if (failures_.size() < 4) {
+        failures_.push_back("task " +
+                            std::to_string(num_i64(v.get("index"))) + ": " +
+                            str_or(v.get("error"), "?"));
+      }
     } else if (phase == "finished") {
       ++finished_;
       const std::string label = str_or(v.get("label"), "?");
@@ -112,6 +119,15 @@ bool TopState::feed_line(const std::string& line) {
         }
       }
       dropped_events_ += num_u64(v.get("dropped_events"));
+      if (const Value* rec = v.get("recovery")) {
+        ++recovery_.scenarios;
+        recovery_.deaths += num_u64(rec->get("deaths"));
+        recovery_.epochs += num_u64(rec->get("epochs"));
+        recovery_.rebuilds += num_u64(rec->get("rebuilds"));
+        recovery_.aborted_ops += num_u64(rec->get("aborted_ops"));
+        recovery_.detection_sum_ns += num_i64(rec->get("detection_ns"));
+        recovery_.ttr_sum_ns += num_i64(rec->get("time_to_recover_ns"));
+      }
       if (const Value* g = v.get("guidelines")) {
         if (const Value* ids = g->get("ids");
             ids != nullptr && ids->kind == Value::Kind::Arr) {
@@ -212,6 +228,25 @@ void TopState::render(std::ostream& os, bool ansi) const {
     os << "  WARNING  " << dropped_events_
        << " trace event(s) dropped by the buffer cap — stats are lower "
           "bounds" << reset << "\n";
+  }
+  if (failed_ > 0) {
+    if (ansi) os << "\x1b[31m";
+    os << "  CRASHED  " << failed_
+       << " scenario(s) threw — sweep continued, driver will exit nonzero"
+       << reset << "\n";
+    for (const std::string& f : failures_) {
+      os << "    " << dim << f << reset << "\n";
+    }
+  }
+  if (recovery_.scenarios > 0) {
+    const long long n = static_cast<long long>(recovery_.scenarios);
+    os << "\n  " << bold << "recovery" << reset << "  deaths "
+       << recovery_.deaths << "  epochs " << recovery_.epochs
+       << "  rebuilds " << recovery_.rebuilds << "  aborted ops "
+       << recovery_.aborted_ops << "\n"
+       << "           mean detect " << human_us(recovery_.detection_sum_ns / n)
+       << "  mean time-to-recover " << human_us(recovery_.ttr_sum_ns / n)
+       << "\n";
   }
 
   if (!ops_.empty()) {

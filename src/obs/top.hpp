@@ -49,10 +49,27 @@ class TopState {
     bool seen = false;
   };
 
+  /// Fail-stop recovery aggregates summed over finished scenarios that
+  /// carried a "recovery" block (kill-plan sweeps).
+  struct Recovery {
+    std::uint64_t scenarios = 0;  ///< scenarios that saw >= 1 death
+    std::uint64_t deaths = 0;
+    std::uint64_t epochs = 0;
+    std::uint64_t rebuilds = 0;
+    std::uint64_t aborted_ops = 0;
+    long long detection_sum_ns = 0;  ///< sum of per-scenario means
+    long long ttr_sum_ns = 0;        ///< sum of time_to_recover means
+  };
+
   [[nodiscard]] const std::string& bench() const noexcept { return bench_; }
   [[nodiscard]] std::uint64_t submitted() const noexcept { return submitted_; }
   [[nodiscard]] std::uint64_t started() const noexcept { return started_; }
   [[nodiscard]] std::uint64_t finished() const noexcept { return finished_; }
+  [[nodiscard]] std::uint64_t failed() const noexcept { return failed_; }
+  [[nodiscard]] const std::vector<std::string>& failures() const noexcept {
+    return failures_;
+  }
+  [[nodiscard]] const Recovery& recovery() const noexcept { return recovery_; }
   [[nodiscard]] bool done() const noexcept { return !status_.empty(); }
   [[nodiscard]] const std::string& status() const noexcept { return status_; }
   [[nodiscard]] long long last_t_ms() const noexcept { return last_t_ms_; }
@@ -78,6 +95,9 @@ class TopState {
   std::uint64_t submitted_ = 0;
   std::uint64_t started_ = 0;
   std::uint64_t finished_ = 0;
+  std::uint64_t failed_ = 0;            ///< scenario bodies that threw
+  std::vector<std::string> failures_;   ///< "task N: error" (first few)
+  Recovery recovery_;
   long long last_t_ms_ = 0;
   long long last_seq_ = -1;
   std::uint64_t seq_errors_ = 0;  ///< non-monotonic seq fields seen

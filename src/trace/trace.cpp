@@ -118,6 +118,14 @@ const char* ctr_name(Ctr c) noexcept {
       return "net.rail_auto_msgs";
     case Ctr::TraceDroppedEvents:
       return "trace.dropped_events";
+    case Ctr::MpiRankDeaths:
+      return "mpi.rank_deaths";
+    case Ctr::MpiShrinks:
+      return "mpi.shrinks";
+    case Ctr::NbcRebuilds:
+      return "nbc.rebuilds";
+    case Ctr::NbcOpsAborted:
+      return "nbc.ops_aborted";
     case Ctr::kCount:
       break;
   }

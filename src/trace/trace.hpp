@@ -97,6 +97,10 @@ enum class Ctr : std::uint8_t {
   RailAutoMsgs,           ///< inter-node messages on the default rail spread
   TraceDroppedEvents,     ///< events discarded by the buffer cap (see
                           ///< NBCTUNE_TRACE_MAX_EVENTS)
+  MpiRankDeaths,          ///< fail-stop kills executed by the injector
+  MpiShrinks,             ///< agreement rounds that shrank the communicator
+  NbcRebuilds,            ///< NBC handles rebuilt on a survivor communicator
+  NbcOpsAborted,          ///< started ops torn down by death or recovery
   kCount,
 };
 [[nodiscard]] const char* ctr_name(Ctr c) noexcept;

@@ -279,10 +279,14 @@ PlanRun run_canned(const fault::CannedPlan& cp) {
 }  // namespace
 
 TEST(FaultCannedPlans, EveryStartedOpCompletesAndPathsAreExercised) {
-  // G1 under every canned plan, with the plan-specific recovery path
-  // demonstrably taken (ISSUE acceptance: retransmit, timeout-fallback,
-  // and ADCL drift re-tuning each asserted via trace evidence).
+  // G1 under every recoverable (message-level) canned plan, with the
+  // plan-specific recovery path demonstrably taken (ISSUE acceptance:
+  // retransmit, timeout-fallback, and ADCL drift re-tuning each asserted
+  // via trace evidence).  The fail-stop kill plans abort the dying rank's
+  // in-flight ops by design (started == completed + aborted); test_ft
+  // asserts that generalized ledger for every kill plan.
   for (const fault::CannedPlan& cp : fault::canned_plans()) {
+    if (fault::FaultPlan::parse(cp.spec).has_kills()) continue;
     SCOPED_TRACE(cp.name);
     const PlanRun pr = run_canned(cp);
     const analyze::ScenarioReport& s = pr.report;

@@ -20,6 +20,7 @@
 #include "analyze/analyze.hpp"
 #include "analyze/json_min.hpp"
 #include "coll/ibcast.hpp"
+#include "harness/microbench.hpp"
 #include "harness/scenario_pool.hpp"
 #include "mpi/world.hpp"
 #include "nbc/handle.hpp"
@@ -209,6 +210,108 @@ TEST(ObsLive, SummaryByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(embedded1, direct1);
   EXPECT_EQ(embedded4, direct4);
   EXPECT_EQ(embedded1, embedded4);
+}
+
+TEST(ObsLive, FailedScenarioRecordKeepsSweepStreaming) {
+  // Crash containment end to end: a throwing scenario body produces a
+  // phase=failed record with the task index and error string, the rest
+  // of the batch still streams its finished records, and only after the
+  // drain does the pool rethrow to the driver.
+  const std::string path = ::testing::TempDir() + "obs_failed.jsonl";
+  {
+    obs::LiveSink sink(path, "test-sweep", 2);
+    ASSERT_TRUE(sink.ok());
+    trace::Session::enable();
+    (void)trace::Session::instance().drain();
+    trace::Session::set_listener(&sink);
+    harness::ScenarioPool pool(2);
+    pool.set_observer(&sink);
+    const std::vector<Case> cs = sweep_cases();
+    EXPECT_THROW(
+        pool.run_indexed(cs.size(),
+                         [&](std::size_t i) {
+                           if (i == 2) {
+                             throw std::runtime_error("injected scenario bug");
+                           }
+                           trace::Scope scope(cs[i].label);
+                           run_ibcast(cs[i].nprocs, cs[i].bytes, cs[i].ops,
+                                      /*seed=*/i + 1);
+                         }),
+        std::runtime_error);
+    trace::Session::set_listener(nullptr);
+    (void)trace::Session::instance().drain();
+    EXPECT_EQ(sink.totals().failed, 1u);
+    EXPECT_EQ(sink.totals().finished, cs.size() - 1);
+  }
+  std::size_t failed_records = 0;
+  std::size_t finished_records = 0;
+  for (const std::string& line : read_lines(path)) {
+    const jm::Value v = jm::parse(line);
+    if (v.get("type")->str != "scenario") continue;
+    const std::string phase = v.get("phase")->str;
+    if (phase == "failed") {
+      ++failed_records;
+      ASSERT_NE(v.get("index"), nullptr);
+      EXPECT_EQ(static_cast<long long>(v.get("index")->as_num()), 2);
+      ASSERT_NE(v.get("error"), nullptr);
+      EXPECT_EQ(v.get("error")->str, "injected scenario bug");
+    } else if (phase == "finished") {
+      ++finished_records;
+    }
+  }
+  EXPECT_EQ(failed_records, 1u);
+  EXPECT_EQ(finished_records, sweep_cases().size() - 1);
+}
+
+TEST(ObsLive, FinishedRecordCarriesRecoveryBlockUnderAKillPlan) {
+  // A kill-plan scenario's finished record surfaces the RecoverySummary
+  // so a watcher sees deaths and time-to-recover while the sweep runs.
+  const std::string path = ::testing::TempDir() + "obs_recovery.jsonl";
+  {
+    obs::LiveSink sink(path, "test-sweep", 1);
+    ASSERT_TRUE(sink.ok());
+    trace::Session::enable();
+    (void)trace::Session::instance().drain();
+    trace::Session::set_listener(&sink);
+    harness::MicroScenario s;
+    s.platform = net::whale();
+    s.nprocs = 16;
+    s.op = harness::OpKind::Ialltoall;
+    s.bytes = 64 * 1024;
+    s.compute_per_iter = 2e-3;
+    s.progress_calls = 3;
+    s.iterations = 40;
+    s.noise_scale = 0.0;
+    s.seed = 42;
+    s.fault_plan = "seed=31;kill=5@0.004;lease=2e-3";
+    s.fault_plan_name = "kill1";
+    adcl::TuningOptions opts;
+    opts.policy = adcl::PolicyKind::BruteForce;
+    opts.tests_per_function = 2;
+    (void)harness::run_adcl(s, opts);
+    trace::Session::set_listener(nullptr);
+    (void)trace::Session::instance().drain();
+  }
+  bool saw_recovery = false;
+  for (const std::string& line : read_lines(path)) {
+    const jm::Value v = jm::parse(line);
+    if (v.get("type")->str != "scenario" ||
+        v.get("phase")->str != "finished") {
+      continue;
+    }
+    const jm::Value* rec = v.get("recovery");
+    ASSERT_NE(rec, nullptr);
+    saw_recovery = true;
+    EXPECT_EQ(static_cast<long long>(rec->get("deaths")->as_num()), 1);
+    EXPECT_EQ(static_cast<long long>(rec->get("epochs")->as_num()), 1);
+    EXPECT_GT(rec->get("rebuilds")->as_num(), 0.0);
+    EXPECT_GT(rec->get("aborted_ops")->as_num(), 0.0);
+    // Detection latency is the lease (2 ms) by construction.
+    EXPECT_EQ(static_cast<long long>(rec->get("detection_ns")->as_num()),
+              2000000);
+    EXPECT_GT(rec->get("time_to_recover_ns")->as_num(), 2e6);
+  }
+  EXPECT_TRUE(saw_recovery);
 }
 
 TEST(ObsLive, EscapeRoundTripsThroughJsonMin) {
@@ -531,6 +634,36 @@ TEST(ObsTop, FeedsStreamAndSkipsForeignLines) {
   std::ostringstream ansi;
   top.render(ansi, /*ansi=*/true);
   EXPECT_NE(ansi.str().find("\x1b["), std::string::npos);
+}
+
+TEST(ObsTop, AggregatesFailuresAndRecovery) {
+  obs::TopState top;
+  EXPECT_TRUE(top.feed_line(
+      R"({"seq":0,"t_ms":0,"type":"hello","schema":"nbctune-live-v1","bench":"failure_sweep","threads":2})"));
+  EXPECT_TRUE(top.feed_line(
+      R"({"seq":1,"t_ms":1,"type":"scenario","phase":"failed","index":3,"error":"scenario 3 blew up"})"));
+  EXPECT_TRUE(top.feed_line(
+      R"({"seq":2,"t_ms":2,"type":"scenario","phase":"finished","label":"ialltoall whale np16 65536B adcl:brute-force+plan=kill1","ops":600,"median_op_ns":1000,"blame_bp":{"compute":10000,"progress":0,"wire":0,"late_sender":0,"missing_progress":0,"other":0},"recovery":{"deaths":1,"epochs":1,"rebuilds":15,"aborted_ops":16,"detection_ns":2000000,"time_to_recover_ns":2676572}})"));
+  EXPECT_TRUE(top.feed_line(
+      R"({"seq":3,"t_ms":3,"type":"scenario","phase":"finished","label":"ialltoall whale np16 65536B adcl:brute-force+plan=cascade","ops":576,"median_op_ns":1000,"blame_bp":{"compute":10000,"progress":0,"wire":0,"late_sender":0,"missing_progress":0,"other":0},"recovery":{"deaths":2,"epochs":2,"rebuilds":30,"aborted_ops":17,"detection_ns":2000000,"time_to_recover_ns":2355454}})"));
+
+  EXPECT_EQ(top.failed(), 1u);
+  ASSERT_EQ(top.failures().size(), 1u);
+  EXPECT_EQ(top.failures()[0], "task 3: scenario 3 blew up");
+  EXPECT_EQ(top.recovery().scenarios, 2u);
+  EXPECT_EQ(top.recovery().deaths, 3u);
+  EXPECT_EQ(top.recovery().epochs, 3u);
+  EXPECT_EQ(top.recovery().rebuilds, 45u);
+  EXPECT_EQ(top.recovery().aborted_ops, 33u);
+  EXPECT_EQ(top.recovery().detection_sum_ns, 4000000);
+  EXPECT_EQ(top.recovery().ttr_sum_ns, 5032026);
+
+  std::ostringstream plain;
+  top.render(plain, /*ansi=*/false);
+  EXPECT_NE(plain.str().find("CRASHED"), std::string::npos);
+  EXPECT_NE(plain.str().find("task 3: scenario 3 blew up"), std::string::npos);
+  EXPECT_NE(plain.str().find("recovery"), std::string::npos);
+  EXPECT_NE(plain.str().find("deaths 3"), std::string::npos);
 }
 
 TEST(ObsTop, CountsOutOfOrderSeq) {

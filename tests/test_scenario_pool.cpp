@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/scenario_pool.hpp"
@@ -105,6 +108,76 @@ TEST(ScenarioPool, LowestIndexExceptionWinsAndOthersStillRun) {
       EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
     }
   }
+}
+
+namespace {
+
+/// Records every on_task_failed callback (fired from worker threads).
+struct FailureLog : harness::PoolObserver {
+  void on_batch_begin(std::size_t tasks) override { batches.push_back(tasks); }
+  void on_task_failed(std::size_t index, const char* what) override {
+    std::lock_guard<std::mutex> lk(mu);
+    failed.emplace_back(index, what);
+  }
+  std::mutex mu;
+  std::vector<std::size_t> batches;
+  std::vector<std::pair<std::size_t, std::string>> failed;
+};
+
+}  // namespace
+
+TEST(ScenarioPool, ObserverSeesEveryFailureAndBatchStillDrains) {
+  // Crash containment: a throwing scenario body must not kill the sweep.
+  // Every other task still runs, every failure is reported to the
+  // observer with its submission index and error string, and only then
+  // does the driver-facing rethrow (lowest index) fire.
+  for (int threads : {1, 4}) {
+    harness::ScenarioPool pool(threads);
+    FailureLog log;
+    pool.set_observer(&log);
+    const std::size_t n = 24;
+    std::vector<std::atomic<int>> hits(n);
+    try {
+      pool.run_indexed(n, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+        if (i == 9 || i == 2) {
+          throw std::runtime_error("scenario " + std::to_string(i) + " blew up");
+        }
+      });
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "scenario 2 blew up") << "threads=" << threads;
+    }
+    pool.set_observer(nullptr);
+    // The batch drained before the rethrow: all 24 tasks ran exactly once.
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+    ASSERT_EQ(log.failed.size(), 2u) << "threads=" << threads;
+    std::sort(log.failed.begin(), log.failed.end());
+    EXPECT_EQ(log.failed[0].first, 2u);
+    EXPECT_EQ(log.failed[0].second, "scenario 2 blew up");
+    EXPECT_EQ(log.failed[1].first, 9u);
+    EXPECT_EQ(log.failed[1].second, "scenario 9 blew up");
+    EXPECT_EQ(log.batches, std::vector<std::size_t>{n});
+  }
+}
+
+TEST(ScenarioPool, ObserverSeesNonStdExceptionFailures) {
+  // A body throwing something outside std::exception still gets contained
+  // and reported (with a generic description), not lost.
+  harness::ScenarioPool pool(2);
+  FailureLog log;
+  pool.set_observer(&log);
+  EXPECT_THROW(pool.run_indexed(4,
+                                [&](std::size_t i) {
+                                  if (i == 1) throw 42;
+                                }),
+               int);
+  pool.set_observer(nullptr);
+  ASSERT_EQ(log.failed.size(), 1u);
+  EXPECT_EQ(log.failed[0].first, 1u);
+  EXPECT_FALSE(log.failed[0].second.empty());
 }
 
 TEST(ScenarioPool, PoolIsReusableAcrossBatches) {
